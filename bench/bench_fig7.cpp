@@ -1,0 +1,107 @@
+// Figure 7 + Equation 1: Pusher CPU load as a function of sensor rate
+// (sensors per second) on the three architectures, with a least-squares
+// linear fit per architecture and a validation of the paper's
+// linear-interpolation prediction rule.
+//
+// Paper findings to reproduce in shape: load below 1% up to ~1000
+// sensors/s on every architecture; distinctly linear scaling; Knights
+// Landing steepest (8% paper peak), Skylake shallowest (3%).
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "analysis/regression.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/proc_metrics.hpp"
+#include "mqtt/broker.hpp"
+#include "pusher/pusher.hpp"
+#include "sim/arch.hpp"
+
+using namespace dcdb;
+
+namespace {
+
+constexpr double kBaseReadCostNs = 2000.0;
+
+// (sensors, interval ms) pairs spanning 1e1 .. 1e5 sensors/s.
+const std::vector<std::pair<int, int>> kConfigs = {
+    {10, 1000},  {100, 1000}, {1000, 1000}, {1000, 250},
+    {5000, 500}, {5000, 250}, {10000, 250}, {10000, 100},
+};
+
+double measure_cpu_load(mqtt::MqttBroker& broker,
+                        const sim::ArchModel& arch, int sensors,
+                        int interval_ms, double seconds) {
+    const auto read_cost = static_cast<std::uint64_t>(
+        kBaseReadCostNs * std::sqrt(arch.read_cost_factor()));
+    auto config = parse_config(
+        "global { topicPrefix /f7/" + arch.name +
+        " ; threads 2 ; pushInterval 1s }\n"
+        "plugins { tester { group g { sensors " + std::to_string(sensors) +
+        " ; interval " + std::to_string(interval_ms) + "ms ; readCostNs " +
+        std::to_string(read_cost) + " } } }\n");
+    pusher::Pusher pusher(std::move(config), broker.connect_inproc());
+    pusher.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    CpuLoadMeter meter;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+    const double load = meter.load_percent();
+    pusher.stop();
+    return load;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("CPU load vs sensor rate with linear fits",
+                        "paper Figure 7 / Equation 1");
+    const double seconds = 1.5 * bench::duration_scale();
+    mqtt::MqttBroker broker(mqtt::BrokerMode::kReduced, nullptr, 0, false);
+
+    analysis::Table table({"arch", "sensor rate [1/s]", "cpu load [%]"});
+    std::vector<std::pair<std::string, std::vector<double>>> series;
+    std::vector<double> rates;
+
+    for (const auto& arch : sim::all_architectures()) {
+        std::vector<double> xs, ys;
+        for (const auto& [sensors, interval_ms] : kConfigs) {
+            const double rate = sensors * 1000.0 / interval_ms;
+            const double load =
+                measure_cpu_load(broker, arch, sensors, interval_ms,
+                                 seconds);
+            xs.push_back(rate);
+            ys.push_back(load);
+            table.cell(arch.name).cell(rate, 0).cell(load).end_row();
+        }
+        const auto fit = analysis::linear_fit(xs, ys);
+        std::printf("%s: load ~= %.3e * rate + %.3f   (R^2 = %.3f)\n",
+                    arch.name.c_str(), fit.slope, fit.intercept, fit.r2);
+
+        // Equation 1: predict intermediate rates from the endpoints.
+        const double predicted = analysis::interpolate_load(
+            xs[xs.size() / 2], xs.front(), ys.front(), xs.back(),
+            ys.back());
+        std::printf(
+            "  Eq.1 check at %.0f sensors/s: predicted %.2f%%, measured "
+            "%.2f%%\n",
+            xs[xs.size() / 2], predicted, ys[xs.size() / 2]);
+
+        if (rates.empty()) rates = xs;
+        series.emplace_back(arch.name, ys);
+    }
+    std::printf("\n");
+    std::fputs(table.str().c_str(), stdout);
+
+    // Log-x chart like the paper's Figure 7.
+    std::vector<double> log_rates;
+    log_rates.reserve(rates.size());
+    for (const double r : rates) log_rates.push_back(std::log10(r));
+    std::printf("\nCPU load over log10(sensor rate):\n");
+    std::fputs(analysis::ascii_chart(log_rates, series).c_str(), stdout);
+    std::printf(
+        "\nExpected shape: linear in rate (R^2 near 1), KNL steepest,\n"
+        "<1%% below 1000 sensors/s on every architecture.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+// Table 1: per-node Pusher production configurations and their overhead
+// against HPL on the three LRZ systems (SuperMUC-NG/Skylake 2477 sensors
+// 1.77%, CooLMUC-2/Haswell 750 sensors 0.69%, CooLMUC-3/KNL 3176 sensors
+// 4.14%), plus the memory/CPU footprint remarks of Section 6.2.1.
+//
+// Substitution: the compute kernel is the HPL analog (blocked DGEMM on
+// all hardware threads) and the per-sensor read cost of the production
+// plugin backends is emulated in the tester plugin, scaled by each
+// architecture's single-thread-speed factor (see sim/arch.hpp). The
+// Pusher itself — sampling threads, sensor caches, MQTT publishing — is
+// the real implementation; the Collect Agent side is a null-sink broker
+// because in the paper it runs on a separate database node.
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "common/proc_metrics.hpp"
+#include "mqtt/broker.hpp"
+#include "pusher/pusher.hpp"
+#include "sim/arch.hpp"
+#include "sim/hpl.hpp"
+
+using namespace dcdb;
+
+namespace {
+
+// Effective node-level stall per sensor read of the production plugin
+// mix on the reference (Skylake) architecture.
+constexpr double kBaseReadCostNs = 2000.0;
+
+std::unique_ptr<pusher::Pusher> make_production_pusher(
+    const sim::ArchModel& arch, mqtt::MqttBroker& broker) {
+    const auto read_cost = static_cast<std::uint64_t>(
+        kBaseReadCostNs * std::sqrt(arch.read_cost_factor()));
+    auto config = parse_config(
+        "global { topicPrefix /" + arch.name +
+        "/node0 ; threads 2 ; pushInterval 1s ; cacheWindow 2m }\n"
+        "plugins { tester { group prod { sensors " +
+        std::to_string(arch.production_sensors) +
+        " ; interval 1s ; readCostNs " + std::to_string(read_cost) +
+        " } } }\n");
+    return std::make_unique<pusher::Pusher>(std::move(config),
+                                            broker.connect_inproc());
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Production Pusher configurations vs HPL",
+                        "paper Table 1");
+    const int reps = bench::repetitions(7);
+    const double run_seconds = 1.2 * bench::duration_scale();
+
+    sim::HplAnalog hpl(0, 160);
+    hpl.calibrate(run_seconds);
+    std::printf("HPL analog: %d threads, %zu reps/run (~%.1fs), "
+                "%d measurement repetitions\n\n",
+                hpl.threads(), hpl.repetitions(), run_seconds, reps);
+
+    analysis::Table table({"system", "cpu", "plugins", "sensors",
+                           "overhead [%]", "paper [%]", "pusher mem [MB]",
+                           "pusher cpu [%]"});
+
+    for (const auto& arch : sim::all_architectures()) {
+        // Monitored runs: production-config Pusher publishing to an
+        // off-node Collect Agent (a null-sink broker stands in — in the
+        // paper the agent runs on a separate database node, so only the
+        // in-band Pusher cost may land on the compute node).
+        mqtt::MqttBroker broker(mqtt::BrokerMode::kReduced, nullptr, 0,
+                                /*listen_tcp=*/false);
+        const auto rss_before = sample_self().rss_bytes;
+        auto pusher = make_production_pusher(arch, broker);
+        pusher->start();
+        std::this_thread::sleep_for(std::chrono::seconds(1));  // warm-up
+
+        // Pusher-only CPU load, metered in an idle window (no HPL) so the
+        // application's own CPU does not pollute the reading.
+        CpuLoadMeter process_meter;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+        const double pusher_cpu = process_meter.load_percent();
+        const auto rss_after = sample_self().rss_bytes;
+
+        // Interleave monitored and reference runs in pairs so slow
+        // drift of the shared machine cancels out of the comparison.
+        // "Reference" pauses sampling by disabling the plugin, leaving
+        // the idle Pusher skeleton in place (as the paper's reference
+        // runs had no dcdbpusher at all, the residual idle-thread cost
+        // only makes our overhead estimate conservative).
+        std::vector<double> monitored, reference;
+        pusher::Plugin* plugin = pusher->find_plugin("tester");
+        for (int r = 0; r < reps; ++r) {
+            monitored.push_back(hpl.run().seconds);
+            plugin->stop();
+            reference.push_back(hpl.run().seconds);
+            plugin->start();
+        }
+        pusher->stop();
+
+        // Median of per-pair overheads (each pair is back-to-back, so
+        // machine drift cancels within it).
+        std::vector<double> pair_overheads;
+        for (int r = 0; r < reps; ++r)
+            pair_overheads.push_back(
+                analysis::overhead_percent(reference[static_cast<std::size_t>(r)],
+                                           monitored[static_cast<std::size_t>(r)]));
+        const double overhead = analysis::median(pair_overheads);
+
+        std::string plugin_list;
+        for (const auto& p : arch.plugins)
+            plugin_list += (plugin_list.empty() ? "" : ",") + p;
+
+        table.cell(arch.system)
+            .cell(arch.name)
+            .cell(plugin_list + " (emulated)")
+            .cell(static_cast<std::uint64_t>(arch.production_sensors))
+            .cell(overhead)
+            .cell(arch.paper_overhead_percent)
+            .cell(static_cast<double>(rss_after - rss_before) / 1e6, 1)
+            .cell(pusher_cpu)
+            .end_row();
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf(
+        "\nExpected shape: KNL (weak single-thread cores, most sensors)\n"
+        "worst, Haswell (fewest sensors) best; Pusher memory well below\n"
+        "the paper's 25-72 MB production range at a 2-minute cache.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the smallest complete DCDB deployment.
+//
+//   sensors -> Pusher -> MQTT -> Collect Agent -> Storage Backend
+//                                                     |
+//                                   libDCDB query <---+
+//
+// One Pusher samples this machine's /proc/meminfo (falling back to the
+// tester plugin when /proc is unavailable) once per second, pushes over
+// real TCP MQTT to a Collect Agent, which persists everything in a
+// wide-column storage backend. After a few seconds the stored time
+// series are queried back through libDCDB and printed.
+//
+// Run:  ./quickstart [seconds]
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "collectagent/collect_agent.hpp"
+#include "common/clock.hpp"
+#include "libdcdb/connection.hpp"
+#include "libdcdb/csv.hpp"
+#include "pusher/pusher.hpp"
+#include "store/cluster.hpp"
+
+using namespace dcdb;
+
+int main(int argc, char** argv) {
+    const int seconds = argc > 1 ? std::atoi(argv[1]) : 5;
+
+    // 1. Storage Backend: a single-node cluster in a scratch directory.
+    const std::string dir = "/tmp/dcdb_quickstart";
+    std::filesystem::remove_all(dir);
+    store::StoreCluster cluster({dir, 1, 1, "hierarchy", 8u << 20, true});
+    store::MetaStore meta(dir + "/meta.log");
+
+    // 2. Collect Agent: reduced MQTT broker + topic->SID + store writer.
+    collectagent::CollectAgent agent(
+        parse_config("global { listenTcp true ; restApi true }"), &cluster,
+        &meta);
+    std::printf("collect agent: mqtt on 127.0.0.1:%u, REST on :%u\n",
+                agent.mqtt_port(), agent.rest_port());
+
+    // 3. Pusher: sample a real kernel data source once per second.
+    const bool have_proc = std::filesystem::exists("/proc/meminfo");
+    const std::string plugin_block =
+        have_proc
+            ? "procfs { group meminfo { file /proc/meminfo ; interval 1s } }"
+            : "tester { group demo { sensors 8 ; interval 1s } }";
+    auto config = parse_config(
+        "global {\n"
+        "  mqttBroker 127.0.0.1:" + std::to_string(agent.mqtt_port()) + "\n"
+        "  topicPrefix /quickstart/node0\n"
+        "  threads 2 ; pushInterval 1s ; restApi true\n"
+        "}\n"
+        "plugins { " + plugin_block + " }\n");
+    pusher::Pusher pusher(std::move(config));
+    pusher.start();
+    std::printf("pusher: %zu sensors from %s, REST on :%u\n",
+                pusher.stats().sensors,
+                have_proc ? "/proc/meminfo" : "tester plugin",
+                pusher.rest_port());
+
+    const TimestampNs t0 = now_ns();
+    std::printf("collecting for %d seconds...\n\n", seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    pusher.stop();
+
+    // 4. Query everything back through libDCDB.
+    lib::Connection conn(cluster, meta);
+    const auto sensors = conn.list_sensors("/quickstart");
+    std::printf("%zu sensors stored; first readings:\n", sensors.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(sensors.size(), 8);
+         ++i) {
+        const auto series = conn.query_raw(sensors[i], t0, now_ns());
+        if (series.empty()) continue;
+        std::printf("  %-55s %3zu readings, latest %lld\n",
+                    sensors[i].c_str(), series.size(),
+                    static_cast<long long>(series.back().value));
+    }
+
+    // 5. CSV export of one sensor, exactly what the `dcdbquery` tool does.
+    if (!sensors.empty()) {
+        std::printf("\nCSV export of %s:\n", sensors[0].c_str());
+        const auto series = conn.query_raw(sensors[0], t0, now_ns());
+        std::fputs(lib::readings_to_csv(sensors[0], series).c_str(), stdout);
+    }
+    std::printf("\ndata persisted under %s — rerun dcdbquery against it:\n"
+                "  dcdbquery --db %s %s\n",
+                dir.c_str(), dir.c_str(),
+                sensors.empty() ? "<topic>" : sensors[0].c_str());
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "common/error.hpp"
+
+namespace dcdb::analysis {
+
+double silverman_bandwidth(const std::vector<double>& samples) {
+    if (samples.size() < 2) return 1.0;
+    const double sd = stddev(samples);
+    const double iqr = quantile(samples, 0.75) - quantile(samples, 0.25);
+    double spread = sd;
+    if (iqr > 0) spread = std::min(sd, iqr / 1.349);
+    if (spread <= 0) spread = std::abs(mean(samples)) * 0.01 + 1e-12;
+    return 0.9 * spread *
+           std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+double kde_at(const std::vector<double>& samples, double x,
+              double bandwidth) {
+    if (samples.empty()) throw Error("kde over empty sample set");
+    if (bandwidth <= 0) throw Error("kde bandwidth must be positive");
+    const double norm =
+        1.0 / (static_cast<double>(samples.size()) * bandwidth *
+               std::sqrt(2.0 * M_PI));
+    double sum = 0;
+    for (const double s : samples) {
+        const double u = (x - s) / bandwidth;
+        sum += std::exp(-0.5 * u * u);
+    }
+    return norm * sum;
+}
+
+std::vector<std::pair<double, double>> kde_curve(
+    const std::vector<double>& samples, double lo, double hi,
+    std::size_t points, double bandwidth) {
+    if (points < 2) throw Error("kde curve needs >= 2 points");
+    if (bandwidth <= 0) bandwidth = silverman_bandwidth(samples);
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    const double step = (hi - lo) / static_cast<double>(points - 1);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + step * static_cast<double>(i);
+        out.emplace_back(x, kde_at(samples, x, bandwidth));
+    }
+    return out;
+}
+
+}  // namespace dcdb::analysis

@@ -1,0 +1,24 @@
+// Gaussian kernel density estimation — used for the paper's Figure 10,
+// which plots "the fitted probability density functions" of per-core
+// instructions-per-Watt for the CORAL-2 applications.
+#pragma once
+
+#include <vector>
+
+namespace dcdb::analysis {
+
+/// Silverman's rule-of-thumb bandwidth for a Gaussian kernel.
+double silverman_bandwidth(const std::vector<double>& samples);
+
+/// Density estimate at a single point.
+double kde_at(const std::vector<double>& samples, double x,
+              double bandwidth);
+
+/// Density evaluated on `points` equally spaced positions over
+/// [lo, hi]; returns (x, density) pairs. Bandwidth <= 0 selects
+/// Silverman's rule.
+std::vector<std::pair<double, double>> kde_curve(
+    const std::vector<double>& samples, double lo, double hi,
+    std::size_t points, double bandwidth = 0.0);
+
+}  // namespace dcdb::analysis

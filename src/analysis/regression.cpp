@@ -1,0 +1,43 @@
+#include "analysis/regression.hpp"
+
+#include "common/error.hpp"
+
+namespace dcdb::analysis {
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+    if (x.size() != y.size() || x.size() < 2)
+        throw Error("linear_fit needs >= 2 matching points");
+    const double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0) throw Error("degenerate x values in linear_fit");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ybar = sy / n;
+    double ss_res = 0, ss_tot = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double pred = fit.at(x[i]);
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - ybar) * (y[i] - ybar);
+    }
+    fit.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+double interpolate_load(double s, double a, double load_a, double b,
+                        double load_b) {
+    if (a == b) throw Error("interpolate_load needs distinct references");
+    return load_a + (s - a) * (load_b - load_a) / (b - a);
+}
+
+}  // namespace dcdb::analysis

@@ -1,0 +1,28 @@
+// Least-squares linear regression — used for the paper's Figure 7 /
+// Equation 1: Pusher CPU load scales linearly with sensor rate, so
+// administrators can predict load by linear interpolation between two
+// measured points.
+#pragma once
+
+#include <vector>
+
+namespace dcdb::analysis {
+
+struct LinearFit {
+    double slope{0};
+    double intercept{0};
+    double r2{0};  // coefficient of determination
+
+    double at(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least squares y = slope*x + intercept. Requires >= 2 points.
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// The paper's Equation 1: predict Lp(s) by linear interpolation between
+/// two measured reference points (a, Lp(a)) and (b, Lp(b)).
+double interpolate_load(double s, double a, double load_a, double b,
+                        double load_b);
+
+}  // namespace dcdb::analysis

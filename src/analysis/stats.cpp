@@ -1,0 +1,78 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dcdb::analysis {
+
+double mean(const std::vector<double>& v) {
+    if (v.empty()) throw Error("mean of empty vector");
+    double sum = 0;
+    for (const double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+    if (v.size() < 2) return 0.0;
+    const double m = mean(v);
+    double sum = 0;
+    for (const double x : v) sum += (x - m) * (x - m);
+    return sum / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+
+double quantile(std::vector<double> v, double q) {
+    if (v.empty()) throw Error("quantile of empty vector");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(v.begin(), v.end());
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= v.size()) return v.back();
+    return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double min_of(const std::vector<double>& v) {
+    if (v.empty()) throw Error("min of empty vector");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+    if (v.empty()) throw Error("max of empty vector");
+    return *std::max_element(v.begin(), v.end());
+}
+
+double overhead_percent(double reference, double monitored) {
+    if (reference <= 0) throw Error("non-positive reference time");
+    return std::max(0.0, 100.0 * (monitored - reference) / reference);
+}
+
+Histogram histogram(const std::vector<double>& v, std::size_t bins) {
+    if (v.empty()) throw Error("histogram of empty vector");
+    return histogram(v, bins, min_of(v), max_of(v));
+}
+
+Histogram histogram(const std::vector<double>& v, std::size_t bins, double lo,
+                    double hi) {
+    if (bins == 0) throw Error("histogram needs >= 1 bin");
+    if (hi <= lo) hi = lo + 1.0;
+    Histogram h;
+    h.lo = lo;
+    h.hi = hi;
+    h.counts.assign(bins, 0);
+    for (const double x : v) {
+        if (x < lo || x > hi) continue;
+        auto bin = static_cast<std::size_t>((x - lo) / (hi - lo) *
+                                            static_cast<double>(bins));
+        if (bin >= bins) bin = bins - 1;
+        h.counts[bin]++;
+    }
+    return h;
+}
+
+}  // namespace dcdb::analysis

@@ -1,0 +1,47 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// The paper's methodology (Section 6.1): "Each experiment involving
+// benchmark runs was repeated 10 times ... we use median runtimes", and
+// overhead O = (Tp - Tr) / Tr.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dcdb::analysis {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // sample variance
+double stddev(const std::vector<double>& v);
+
+/// Median (interpolated for even sizes); input copied, not modified.
+double median(std::vector<double> v);
+
+/// Interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> v, double q);
+
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// The paper's overhead metric O = (Tp - Tr) / Tr, as a percentage.
+/// Negative values (monitored run happened to be faster) are reported as
+/// 0, matching the paper's Figure 5 where "a value of 0 denotes no
+/// overhead, meaning that the median runtime ... was equal or less than
+/// the reference median runtime."
+double overhead_percent(double reference, double monitored);
+
+/// Histogram with equal-width bins over [lo, hi].
+struct Histogram {
+    double lo{0}, hi{1};
+    std::vector<std::size_t> counts;
+
+    double bin_width() const {
+        return (hi - lo) / static_cast<double>(counts.size());
+    }
+};
+
+Histogram histogram(const std::vector<double>& v, std::size_t bins);
+Histogram histogram(const std::vector<double>& v, std::size_t bins, double lo,
+                    double hi);
+
+}  // namespace dcdb::analysis

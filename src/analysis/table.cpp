@@ -1,0 +1,174 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_utils.hpp"
+
+namespace dcdb::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+Table& Table::cell(const std::string& value) {
+    pending_.push_back(value);
+    return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+    pending_.push_back(strfmt("%.*f", precision, value));
+    return *this;
+}
+
+Table& Table::cell(std::uint64_t value) {
+    pending_.push_back(std::to_string(value));
+    return *this;
+}
+
+void Table::end_row() {
+    add_row(std::move(pending_));
+    pending_.clear();
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : "";
+            os << "| " << v << std::string(widths[c] - v.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto emit_sep = [&] {
+        for (const std::size_t w : widths)
+            os << '+' << std::string(w + 2, '-');
+        os << "+\n";
+    };
+    emit_sep();
+    emit_row(headers_);
+    emit_sep();
+    for (const auto& row : rows_) emit_row(row);
+    emit_sep();
+    return os.str();
+}
+
+std::string Table::csv() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            const bool quote =
+                cells[c].find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                os << '"';
+                for (const char ch : cells[c]) {
+                    if (ch == '"') os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cells[c];
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+std::string ascii_heatmap(const std::vector<std::string>& row_labels,
+                          const std::vector<std::string>& col_labels,
+                          const std::vector<std::vector<double>>& values,
+                          const std::string& unit) {
+    if (values.size() != row_labels.size())
+        throw Error("heatmap row count mismatch");
+    double vmax = 0;
+    for (const auto& row : values)
+        for (const double v : row) vmax = std::max(vmax, v);
+    if (vmax <= 0) vmax = 1;
+    static const char* shades[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+
+    std::size_t label_w = 0;
+    for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+
+    std::ostringstream os;
+    os << std::string(label_w + 2, ' ');
+    for (const auto& c : col_labels) os << strfmt("%10s", c.c_str());
+    os << "\n";
+    for (std::size_t r = 0; r < values.size(); ++r) {
+        os << strfmt("%*s  ", static_cast<int>(label_w),
+                     row_labels[r].c_str());
+        for (const double v : values[r]) {
+            const int shade = std::min<int>(
+                7, static_cast<int>(v / vmax * 7.999));
+            os << strfmt("%7.2f %s ", v, shades[shade]);
+        }
+        os << "\n";
+    }
+    os << "(values in " << unit << "; shading relative to max " << vmax
+       << ")\n";
+    return os.str();
+}
+
+std::string ascii_chart(
+    const std::vector<double>& x,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    std::size_t width, std::size_t height) {
+    if (x.size() < 2 || series.empty()) throw Error("chart needs data");
+    double ymin = 1e300, ymax = -1e300;
+    for (const auto& [name, ys] : series) {
+        if (ys.size() != x.size()) throw Error("chart series size mismatch");
+        for (const double y : ys) {
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+    }
+    if (ymax <= ymin) ymax = ymin + 1;
+    const double xmin = x.front(), xmax = x.back();
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    static const char marks[] = {'*', 'o', '+', 'x', '@', '%'};
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        const auto& ys = series[s].second;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const auto cx = static_cast<std::size_t>(
+                (x[i] - xmin) / (xmax - xmin) * static_cast<double>(width - 1));
+            const auto cy = static_cast<std::size_t>(
+                (ys[i] - ymin) / (ymax - ymin) *
+                static_cast<double>(height - 1));
+            grid[height - 1 - cy][cx] = marks[s % sizeof marks];
+        }
+    }
+
+    std::ostringstream os;
+    os << strfmt("%10.3g +", ymax) << "\n";
+    for (const auto& line : grid) os << "           |" << line << "\n";
+    os << strfmt("%10.3g +", ymin) << std::string(width, '-') << "\n";
+    os << strfmt("            %-10.4g%*s%.4g", xmin,
+                 static_cast<int>(width) - 10, "", xmax)
+       << "\n";
+    os << "            legend:";
+    for (std::size_t s = 0; s < series.size(); ++s)
+        os << " " << marks[s % sizeof marks] << "=" << series[s].first;
+    os << "\n";
+    return os.str();
+}
+
+}  // namespace dcdb::analysis

@@ -1,0 +1,46 @@
+// Console table / CSV / ASCII-chart emitters for the benchmark harness.
+// Every bench prints the same rows and series the paper's tables and
+// figures report, in both human-readable and machine-readable form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcdb::analysis {
+
+/// Fixed-column text table with an optional title.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    Table& cell(const std::string& value);  // streaming row builder
+    Table& cell(double value, int precision = 2);
+    Table& cell(std::uint64_t value);
+    void end_row();
+
+    /// Render with aligned columns.
+    std::string str() const;
+    /// Render as CSV (headers + rows).
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+};
+
+/// ASCII heatmap: rows x cols of values rendered with shaded cells plus
+/// the numeric values (the paper's Figure 5 form).
+std::string ascii_heatmap(const std::vector<std::string>& row_labels,
+                          const std::vector<std::string>& col_labels,
+                          const std::vector<std::vector<double>>& values,
+                          const std::string& unit);
+
+/// Simple ASCII line chart of one or more named series over shared x.
+std::string ascii_chart(const std::vector<double>& x,
+                        const std::vector<std::pair<std::string,
+                                                    std::vector<double>>>& series,
+                        std::size_t width = 72, std::size_t height = 16);
+
+}  // namespace dcdb::analysis

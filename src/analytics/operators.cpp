@@ -1,0 +1,133 @@
+#include "analytics/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dcdb::analytics {
+
+SlidingAverage::SlidingAverage(TimestampNs window_ns)
+    : window_ns_(std::max<TimestampNs>(window_ns, 1)) {}
+
+std::optional<Derived> SlidingAverage::process(const std::string& topic,
+                                               const Reading& reading) {
+    std::scoped_lock lock(mutex_);
+    State& state = states_[topic];
+    state.window.push_back(reading);
+    state.sum += static_cast<double>(reading.value);
+    while (!state.window.empty() &&
+           state.window.front().ts + window_ns_ <= reading.ts) {
+        state.sum -= static_cast<double>(state.window.front().value);
+        state.window.pop_front();
+    }
+    Derived out;
+    out.reading.ts = reading.ts;
+    out.reading.value = static_cast<Value>(
+        std::llround(state.sum / static_cast<double>(state.window.size())));
+    return out;
+}
+
+std::optional<Derived> RateOfChange::process(const std::string& topic,
+                                             const Reading& reading) {
+    std::scoped_lock lock(mutex_);
+    const auto it = last_.find(topic);
+    if (it == last_.end()) {
+        last_[topic] = reading;
+        return std::nullopt;  // no rate from a single point
+    }
+    const Reading previous = it->second;
+    it->second = reading;
+    if (reading.ts <= previous.ts) return std::nullopt;
+    const double dt = static_cast<double>(reading.ts - previous.ts) / 1e9;
+    Derived out;
+    out.reading.ts = reading.ts;
+    out.reading.value = static_cast<Value>(std::llround(
+        static_cast<double>(reading.value - previous.value) / dt));
+    return out;
+}
+
+Smoother::Smoother(double alpha) : alpha_(alpha) {
+    if (alpha_ <= 0.0 || alpha_ > 1.0)
+        throw Error("EWMA alpha must be in (0, 1]");
+}
+
+std::optional<Derived> Smoother::process(const std::string& topic,
+                                         const Reading& reading) {
+    std::scoped_lock lock(mutex_);
+    const auto it = states_.find(topic);
+    double smoothed;
+    if (it == states_.end()) {
+        smoothed = static_cast<double>(reading.value);
+        states_[topic] = smoothed;
+    } else {
+        smoothed = alpha_ * static_cast<double>(reading.value) +
+                   (1.0 - alpha_) * it->second;
+        it->second = smoothed;
+    }
+    Derived out;
+    out.reading.ts = reading.ts;
+    out.reading.value = static_cast<Value>(std::llround(smoothed));
+    return out;
+}
+
+ThresholdAlert::ThresholdAlert(Value min, Value max) : min_(min), max_(max) {
+    if (min_ > max_) throw Error("threshold min > max");
+}
+
+std::optional<Derived> ThresholdAlert::process(const std::string& topic,
+                                               const Reading& reading) {
+    if (reading.value >= min_ && reading.value <= max_) return std::nullopt;
+    Derived out;
+    out.reading = reading;
+    out.is_event = true;
+    out.detail = topic + " value " + std::to_string(reading.value) +
+                 " outside [" + std::to_string(min_) + ", " +
+                 std::to_string(max_) + "]";
+    return out;
+}
+
+ZScoreAnomaly::ZScoreAnomaly(std::size_t window, double sigmas)
+    : window_(std::max<std::size_t>(window, 3)), sigmas_(sigmas) {
+    if (sigmas_ <= 0) throw Error("z-score threshold must be positive");
+}
+
+std::optional<Derived> ZScoreAnomaly::process(const std::string& topic,
+                                              const Reading& reading) {
+    std::scoped_lock lock(mutex_);
+    State& state = states_[topic];
+    const double x = static_cast<double>(reading.value);
+
+    std::optional<Derived> out;
+    if (state.window.size() >= window_ / 2) {
+        // Test against the statistics of *previous* readings only, so a
+        // spike cannot mask itself.
+        const double n = static_cast<double>(state.window.size());
+        const double mean = state.sum / n;
+        const double var =
+            std::max(0.0, state.sum2 / n - mean * mean);
+        const double sd = std::sqrt(var);
+        if (sd > 0 && std::abs(x - mean) > sigmas_ * sd) {
+            Derived d;
+            d.reading = reading;
+            d.is_event = true;
+            d.detail = topic + " z-score " +
+                       std::to_string((x - mean) / sd) + " beyond " +
+                       std::to_string(sigmas_) + " sigma";
+            out = d;
+        }
+    }
+
+    state.window.push_back(x);
+    state.sum += x;
+    state.sum2 += x * x;
+    if (state.window.size() > window_) {
+        const double old = state.window.front();
+        state.window.pop_front();
+        state.sum -= old;
+        state.sum2 -= old * old;
+    }
+    return out;
+}
+
+}  // namespace dcdb::analytics

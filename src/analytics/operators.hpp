@@ -1,0 +1,124 @@
+// Streaming analytics operators.
+//
+// The paper's future-work section (Section 9) sketches "a streaming data
+// analytics layer highly-integrated in our framework, which will offer
+// novel abstractions to aid in the implementation of algorithms for many
+// data analytics applications in HPC, such as energy efficiency
+// optimization or anomaly detection ... able to fetch live sensor data
+// and perform online data analytics at the Collect Agent or Pusher
+// level". This module implements that layer: stateful per-sensor
+// operators that transform a live stream of readings into derived
+// readings or events, composed into pipelines (see pipeline.hpp).
+//
+// Every operator is keyed by sensor topic internally, so one operator
+// instance serves an entire subtree of sensors.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dcdb::analytics {
+
+/// Output of an operator for one input reading.
+struct Derived {
+    Reading reading;       // derived value
+    bool is_event{false};  // true for alerts/anomalies
+    std::string detail;    // event description, empty otherwise
+};
+
+class StreamOperator {
+  public:
+    virtual ~StreamOperator() = default;
+    virtual std::string name() const = 0;
+
+    /// Feed one reading of `topic`; returns derived output, if any.
+    virtual std::optional<Derived> process(const std::string& topic,
+                                           const Reading& reading) = 0;
+};
+
+/// Sliding-window arithmetic mean over the last `window_ns` of data.
+class SlidingAverage final : public StreamOperator {
+  public:
+    explicit SlidingAverage(TimestampNs window_ns);
+    std::string name() const override { return "avg"; }
+    std::optional<Derived> process(const std::string& topic,
+                                   const Reading& reading) override;
+
+  private:
+    struct State {
+        std::deque<Reading> window;
+        double sum{0};
+    };
+    TimestampNs window_ns_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, State> states_;
+};
+
+/// First derivative per second (turns counters into rates).
+class RateOfChange final : public StreamOperator {
+  public:
+    std::string name() const override { return "rate"; }
+    std::optional<Derived> process(const std::string& topic,
+                                   const Reading& reading) override;
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<std::string, Reading> last_;
+};
+
+/// Exponentially weighted moving average, alpha in (0, 1].
+class Smoother final : public StreamOperator {
+  public:
+    explicit Smoother(double alpha);
+    std::string name() const override { return "ewma"; }
+    std::optional<Derived> process(const std::string& topic,
+                                   const Reading& reading) override;
+
+  private:
+    double alpha_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, double> states_;
+};
+
+/// Emits an event whenever the value leaves [min, max].
+class ThresholdAlert final : public StreamOperator {
+  public:
+    ThresholdAlert(Value min, Value max);
+    std::string name() const override { return "threshold"; }
+    std::optional<Derived> process(const std::string& topic,
+                                   const Reading& reading) override;
+
+  private:
+    Value min_;
+    Value max_;
+};
+
+/// Online z-score anomaly detector over a sliding count window: flags
+/// readings more than `sigmas` standard deviations from the window mean.
+class ZScoreAnomaly final : public StreamOperator {
+  public:
+    ZScoreAnomaly(std::size_t window, double sigmas);
+    std::string name() const override { return "zscore"; }
+    std::optional<Derived> process(const std::string& topic,
+                                   const Reading& reading) override;
+
+  private:
+    struct State {
+        std::deque<double> window;
+        double sum{0};
+        double sum2{0};
+    };
+    std::size_t window_;
+    double sigmas_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, State> states_;
+};
+
+}  // namespace dcdb::analytics

@@ -1,0 +1,58 @@
+#include "analytics/pipeline.hpp"
+
+#include "collectagent/collect_agent.hpp"
+#include "common/logging.hpp"
+#include "mqtt/topic.hpp"
+
+namespace dcdb::analytics {
+
+AnalyticsPipeline::AnalyticsPipeline(collectagent::CollectAgent& agent)
+    : agent_(agent) {
+    agent_.set_live_listener(
+        [this](const std::string& topic, const Reading& reading) {
+            on_reading(topic, reading);
+        });
+}
+
+AnalyticsPipeline::~AnalyticsPipeline() {
+    agent_.set_live_listener(nullptr);
+}
+
+void AnalyticsPipeline::add_stage(const std::string& filter,
+                                  std::shared_ptr<StreamOperator> op) {
+    if (!filter_valid(filter))
+        throw Error("invalid analytics stage filter: " + filter);
+    stages_.push_back({filter, std::move(op)});
+}
+
+void AnalyticsPipeline::set_event_handler(EventHandler handler) {
+    event_handler_ = std::move(handler);
+}
+
+void AnalyticsPipeline::on_reading(const std::string& topic,
+                                   const Reading& reading) {
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& stage : stages_) {
+        if (!topic_matches(stage.filter, topic)) continue;
+        std::optional<Derived> out;
+        try {
+            out = stage.op->process(topic, reading);
+        } catch (const std::exception& e) {
+            DCDB_WARN("analytics") << "operator " << stage.op->name()
+                                   << " failed on " << topic << ": "
+                                   << e.what();
+            continue;
+        }
+        if (!out) continue;
+        if (out->is_event) {
+            events_.fetch_add(1, std::memory_order_relaxed);
+            if (event_handler_)
+                event_handler_({topic, out->reading, out->detail});
+        } else {
+            agent_.ingest(topic + "/" + stage.op->name(), out->reading);
+            derived_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+}  // namespace dcdb::analytics

@@ -1,0 +1,111 @@
+#include "collectagent/collect_agent.hpp"
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "core/payload.hpp"
+
+namespace dcdb::collectagent {
+
+CollectAgent::CollectAgent(const ConfigNode& config,
+                           store::StoreCluster* cluster,
+                           store::MetaStore* meta)
+    : cluster_(cluster),
+      mapper_(*meta),
+      cache_(config.get_duration_ns_or("global.cacheWindow",
+                                       120 * kNsPerSec)),
+      ttl_s_(static_cast<std::uint32_t>(
+          config.get_i64_or("global.ttl", 0))),
+      store_node_hint_(static_cast<int>(
+          config.get_i64_or("global.storeNodeHint", -1))) {
+    const bool listen_tcp = config.get_bool_or("global.listenTcp", true);
+    const auto port = static_cast<std::uint16_t>(
+        config.get_i64_or("global.mqttPort", 0));
+    broker_ = std::make_unique<mqtt::MqttBroker>(
+        mqtt::BrokerMode::kReduced,
+        [this](const mqtt::Publish& p) { on_publish(p); }, port, listen_tcp);
+
+    if (config.get_bool_or("global.restApi", false))
+        rest_server_ = make_agent_rest_server(*this);
+}
+
+CollectAgent::~CollectAgent() { stop(); }
+
+void CollectAgent::stop() {
+    if (broker_) broker_->stop();
+    if (rest_server_) rest_server_->stop();
+}
+
+std::uint16_t CollectAgent::mqtt_port() const { return broker_->port(); }
+
+std::unique_ptr<mqtt::Transport> CollectAgent::connect_inproc() {
+    return broker_->connect_inproc();
+}
+
+std::uint16_t CollectAgent::rest_port() const {
+    return rest_server_ ? rest_server_->port() : 0;
+}
+
+void CollectAgent::on_publish(const mqtt::Publish& message) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    try {
+        const SensorId sid = mapper_.to_sid(message.topic);
+        const auto readings = decode_readings(message.payload);
+        if (readings.empty()) return;
+
+        for (const auto& reading : readings) {
+            cluster_->insert(sensor_key(sid, reading.ts), reading.ts,
+                             reading.value, ttl_s_, store_node_hint_);
+            if (live_listener_) live_listener_(message.topic, reading);
+        }
+        readings_.fetch_add(readings.size(), std::memory_order_relaxed);
+
+        // Cache the newest reading and keep the hierarchy browsable.
+        cache_.push(message.topic, readings.back());
+        tree_.add(message.topic);
+    } catch (const std::exception& e) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        DCDB_WARN("collectagent")
+            << "dropping message on " << message.topic << ": " << e.what();
+    }
+}
+
+void CollectAgent::set_live_listener(LiveListener listener) {
+    live_listener_ = std::move(listener);
+}
+
+void CollectAgent::ingest(const std::string& topic, const Reading& reading) {
+    const SensorId sid = mapper_.to_sid(topic);
+    cluster_->insert(sensor_key(sid, reading.ts), reading.ts, reading.value,
+                     ttl_s_, store_node_hint_);
+    cache_.push(topic, reading);
+    tree_.add(topic);
+    readings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Reading> CollectAgent::query_stored(const std::string& topic,
+                                                TimestampNs t0,
+                                                TimestampNs t1) const {
+    SensorId sid;
+    if (!mapper_.lookup(topic, sid) || t1 < t0) return {};
+    std::vector<Reading> out;
+    for (std::uint32_t bucket = time_bucket(t0);; ++bucket) {
+        store::Key key;
+        key.sid = sid.bytes;
+        key.bucket = bucket;
+        for (const auto& row : cluster_->query(key, t0, t1))
+            out.push_back({row.ts, row.value});
+        if (bucket == time_bucket(t1)) break;
+    }
+    return out;
+}
+
+CollectAgentStats CollectAgent::stats() const {
+    CollectAgentStats s;
+    s.messages = messages_.load();
+    s.readings = readings_.load();
+    s.decode_errors = decode_errors_.load();
+    s.known_sensors = tree_.sensor_count();
+    return s;
+}
+
+}  // namespace dcdb::collectagent

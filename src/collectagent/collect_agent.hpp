@@ -1,0 +1,110 @@
+// Collect Agent: DCDB's data broker (paper, Section 4.2).
+//
+// Embeds a reduced MQTT broker (publish path only — no topic filtering
+// overhead), translates each message's topic into a 128-bit SID via the
+// persistent topic dictionary, and writes every reading to the Storage
+// Backend cluster. Keeps a sensor cache of the latest readings of all
+// connected Pushers, served over the same RESTful API as a Pusher's
+// (Section 5.3), and maintains the sensor hierarchy tree.
+//
+// Configuration:
+//   global {
+//       mqttPort   0        ; TCP listen port (0 = ephemeral)
+//       listenTcp  true     ; false = in-process connections only
+//       restApi    false
+//       cacheWindow 2m
+//       ttl        0        ; storage TTL seconds for ingested readings
+//       storeNodeHint -1    ; colocated store node (locality accounting)
+//   }
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "common/config.hpp"
+#include "core/hierarchy.hpp"
+#include "core/sensor_cache.hpp"
+#include "core/sensor_id.hpp"
+#include "mqtt/broker.hpp"
+#include "net/http.hpp"
+#include "store/cluster.hpp"
+#include "store/metastore.hpp"
+
+namespace dcdb::collectagent {
+
+struct CollectAgentStats {
+    std::uint64_t messages{0};
+    std::uint64_t readings{0};
+    std::uint64_t decode_errors{0};
+    std::size_t known_sensors{0};
+};
+
+class CollectAgent {
+  public:
+    /// `cluster` and `meta` are owned by the caller (they are shared with
+    /// libDCDB front-ends) and must outlive the agent.
+    CollectAgent(const ConfigNode& config, store::StoreCluster* cluster,
+                 store::MetaStore* meta);
+    ~CollectAgent();
+
+    CollectAgent(const CollectAgent&) = delete;
+    CollectAgent& operator=(const CollectAgent&) = delete;
+
+    /// MQTT TCP port Pushers connect to (0 when TCP is disabled).
+    std::uint16_t mqtt_port() const;
+
+    /// In-process Pusher connection (client-side transport).
+    std::unique_ptr<mqtt::Transport> connect_inproc();
+
+    std::uint16_t rest_port() const;
+
+    CacheSet& cache() { return cache_; }
+    const SensorTree& hierarchy() const { return tree_; }
+    TopicMapper& mapper() { return mapper_; }
+
+    CollectAgentStats stats() const;
+
+    /// Register a listener invoked (from broker session threads) for
+    /// every live reading — the attachment point of the streaming
+    /// analytics layer. Set before traffic flows; not thread-safe against
+    /// concurrent publishes.
+    using LiveListener =
+        std::function<void(const std::string& topic, const Reading&)>;
+    void set_live_listener(LiveListener listener);
+
+    /// Insert a derived reading through the same path as ingested MQTT
+    /// data (SID mapping, storage, cache, hierarchy) without notifying
+    /// the live listener — analytics output must not re-enter analytics.
+    void ingest(const std::string& topic, const Reading& reading);
+
+    /// Read a stored time series back (the REST /query endpoint — the
+    /// equivalent of the paper's Grafana data-source plugin path).
+    std::vector<Reading> query_stored(const std::string& topic,
+                                      TimestampNs t0, TimestampNs t1) const;
+
+    void stop();
+
+  private:
+    void on_publish(const mqtt::Publish& message);
+
+    store::StoreCluster* cluster_;
+    TopicMapper mapper_;
+    CacheSet cache_;
+    SensorTree tree_;
+    std::uint32_t ttl_s_;
+    int store_node_hint_;
+
+    LiveListener live_listener_;
+    std::unique_ptr<mqtt::MqttBroker> broker_;
+    std::unique_ptr<HttpServer> rest_server_;
+
+    std::atomic<std::uint64_t> messages_{0};
+    std::atomic<std::uint64_t> readings_{0};
+    std::atomic<std::uint64_t> decode_errors_{0};
+};
+
+/// REST server factory (shared by the agent constructor).
+std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent);
+
+}  // namespace dcdb::collectagent

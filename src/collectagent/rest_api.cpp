@@ -1,0 +1,92 @@
+// Collect Agent RESTful API: "Collect Agents provide a sensor cache that
+// can be queried via the same RESTful API [as Pushers] and that gives
+// access to the most recent readings of all Pushers connected to them"
+// (paper, Section 5.3). Additionally exposes the sensor hierarchy for
+// Grafana-style level-by-level browsing.
+#include <sstream>
+
+#include "collectagent/collect_agent.hpp"
+#include "common/string_utils.hpp"
+
+namespace dcdb::collectagent {
+
+namespace {
+
+HttpResponse handle_sensors(CollectAgent& agent, const HttpRequest& req) {
+    const std::string topic = req.path.substr(std::string("/sensors").size());
+    if (topic.empty() || topic == "/") {
+        std::ostringstream os;
+        for (const auto& t : agent.cache().topics()) os << t << "\n";
+        return HttpResponse::ok(os.str());
+    }
+    const auto avg_param = req.query.find("avg");
+    if (avg_param != req.query.end()) {
+        const auto secs = parse_double(avg_param->second);
+        if (!secs) return HttpResponse::bad_request("bad avg parameter\n");
+        const auto avg = agent.cache().average(
+            topic, static_cast<TimestampNs>(*secs * 1e9));
+        if (!avg) return HttpResponse::not_found("no data for " + topic + "\n");
+        return HttpResponse::ok(strfmt("%.6f\n", *avg));
+    }
+    const auto latest = agent.cache().latest(topic);
+    if (!latest) return HttpResponse::not_found("no data for " + topic + "\n");
+    return HttpResponse::ok(strfmt("%llu %lld\n",
+                                   static_cast<unsigned long long>(latest->ts),
+                                   static_cast<long long>(latest->value)));
+}
+
+// The Grafana data-source path (paper, Section 5.4): select a sensor at
+// some hierarchy level (via /hierarchy) and fetch its stored series.
+HttpResponse handle_query(CollectAgent& agent, const HttpRequest& req) {
+    const std::string topic = req.query_or("topic", "");
+    if (topic.empty())
+        return HttpResponse::bad_request(
+            "usage: /query?topic=T[&t0=ns][&t1=ns]\n");
+    const auto t0 = parse_u64(req.query_or("t0", "0"));
+    const auto t1 =
+        parse_u64(req.query_or("t1", std::to_string(kTimestampMax)));
+    if (!t0 || !t1) return HttpResponse::bad_request("bad t0/t1\n");
+    const auto readings = agent.query_stored(topic, *t0, *t1);
+    std::ostringstream os;
+    for (const auto& r : readings)
+        os << topic << ',' << r.ts << ',' << r.value << '\n';
+    return HttpResponse::ok(os.str(), "text/csv");
+}
+
+HttpResponse handle_hierarchy(CollectAgent& agent, const HttpRequest& req) {
+    const std::string path = req.query_or("path", "/");
+    std::ostringstream os;
+    for (const auto& child : agent.hierarchy().children(path))
+        os << child << "\n";
+    return HttpResponse::ok(os.str());
+}
+
+}  // namespace
+
+std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
+    return std::make_unique<HttpServer>(
+        0, [&agent](const HttpRequest& req) -> HttpResponse {
+            if (starts_with(req.path, "/sensors"))
+                return handle_sensors(agent, req);
+            if (req.path == "/hierarchy")
+                return handle_hierarchy(agent, req);
+            if (req.path == "/query") return handle_query(agent, req);
+            if (req.path == "/stats") {
+                const auto s = agent.stats();
+                return HttpResponse::ok(strfmt(
+                    "messages %llu\nreadings %llu\ndecode_errors %llu\n"
+                    "sensors %zu\n",
+                    static_cast<unsigned long long>(s.messages),
+                    static_cast<unsigned long long>(s.readings),
+                    static_cast<unsigned long long>(s.decode_errors),
+                    s.known_sensors));
+            }
+            if (req.path == "/")
+                return HttpResponse::ok(
+                    "dcdb collect agent: /sensors /hierarchy /query "
+                    "/stats\n");
+            return HttpResponse::not_found();
+        });
+}
+
+}  // namespace dcdb::collectagent

@@ -1,0 +1,20 @@
+#include "common/bytebuf.hpp"
+
+#include <cstdio>
+
+namespace dcdb {
+
+std::string hex_dump(std::span<const std::uint8_t> data, std::size_t max) {
+    std::string out;
+    const std::size_t n = std::min(data.size(), max);
+    char tmp[4];
+    for (std::size_t i = 0; i < n; ++i) {
+        std::snprintf(tmp, sizeof tmp, "%02x", data[i]);
+        if (i) out.push_back(' ');
+        out += tmp;
+    }
+    if (n < data.size()) out += " ...";
+    return out;
+}
+
+}  // namespace dcdb

@@ -1,0 +1,25 @@
+#include "common/clock.hpp"
+
+#include <thread>
+
+namespace dcdb {
+
+TimestampNs now_ns() {
+    const auto t = std::chrono::system_clock::now().time_since_epoch();
+    return static_cast<TimestampNs>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+std::uint64_t steady_ns() {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+void sleep_until_ns(TimestampNs wall_ns) {
+    const TimestampNs now = now_ns();
+    if (wall_ns <= now) return;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wall_ns - now));
+}
+
+}  // namespace dcdb

@@ -1,0 +1,46 @@
+// Wall-clock and interval-alignment helpers.
+//
+// DCDB synchronizes sensor read intervals within groups, across plugins and
+// across Pushers via NTP (paper, Section 4.1): every group fires at
+// timestamps that are integer multiples of its sampling interval, so that
+// all nodes of a parallel job are interrupted at the same instant. The
+// helpers here compute those aligned deadlines.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace dcdb {
+
+/// Current wall-clock time in nanoseconds since the UNIX epoch.
+TimestampNs now_ns();
+
+/// Steady (monotonic) clock in nanoseconds, for measuring durations.
+std::uint64_t steady_ns();
+
+/// First timestamp strictly after `t` that is an integer multiple of
+/// `interval_ns`. This is the NTP-style alignment rule used by sensor
+/// groups: with a 1s interval every group in the system fires at exact
+/// second boundaries. `interval_ns` must be > 0.
+constexpr TimestampNs next_aligned(TimestampNs t, TimestampNs interval_ns) {
+    return (t / interval_ns + 1) * interval_ns;
+}
+
+/// Sleep until the given wall-clock timestamp (no-op if in the past).
+void sleep_until_ns(TimestampNs wall_ns);
+
+/// Scope timer measuring elapsed steady-clock nanoseconds.
+class ScopeTimer {
+  public:
+    ScopeTimer() : start_(steady_ns()) {}
+    std::uint64_t elapsed_ns() const { return steady_ns() - start_; }
+    double elapsed_s() const {
+        return static_cast<double>(elapsed_ns()) / 1e9;
+    }
+
+  private:
+    std::uint64_t start_;
+};
+
+}  // namespace dcdb

@@ -1,0 +1,46 @@
+// Error types used throughout the DCDB reproduction.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dcdb {
+
+/// Base class for all DCDB errors.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed configuration file or invalid configuration value.
+class ConfigError : public Error {
+  public:
+    explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+/// Network-level failure (socket, HTTP, MQTT transport).
+class NetError : public Error {
+  public:
+    explicit NetError(const std::string& what) : Error("net: " + what) {}
+};
+
+/// MQTT protocol violation.
+class ProtocolError : public Error {
+  public:
+    explicit ProtocolError(const std::string& what)
+        : Error("protocol: " + what) {}
+};
+
+/// Storage backend failure.
+class StoreError : public Error {
+  public:
+    explicit StoreError(const std::string& what) : Error("store: " + what) {}
+};
+
+/// libDCDB query failure (unknown sensor, bad expression, ...).
+class QueryError : public Error {
+  public:
+    explicit QueryError(const std::string& what) : Error("query: " + what) {}
+};
+
+}  // namespace dcdb

@@ -1,0 +1,42 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace dcdb {
+
+namespace {
+
+const char* level_name(LogLevel lvl) {
+    switch (lvl) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+std::mutex g_write_mutex;
+
+}  // namespace
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::write(LogLevel lvl, const std::string& component,
+                   const std::string& msg) {
+    if (!enabled(lvl)) return;
+    const double t = static_cast<double>(now_ns()) / 1e9;
+    std::scoped_lock lock(g_write_mutex);
+    std::fprintf(stderr, "[%.3f] %-5s %s: %s\n", t, level_name(lvl),
+                 component.c_str(), msg.c_str());
+}
+
+}  // namespace dcdb

@@ -1,0 +1,72 @@
+// Minimal leveled, thread-safe logger.
+//
+// Pushers and Collect Agents run continuously next to HPC applications, so
+// the logger keeps the hot path cheap: a level check is a single relaxed
+// atomic load and disabled messages never format their arguments.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace dcdb {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+  public:
+    static Logger& instance();
+
+    void set_level(LogLevel lvl) {
+        level_.store(static_cast<int>(lvl), std::memory_order_relaxed);
+    }
+    LogLevel level() const {
+        return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+    }
+    bool enabled(LogLevel lvl) const {
+        return static_cast<int>(lvl) >=
+               level_.load(std::memory_order_relaxed);
+    }
+
+    void write(LogLevel lvl, const std::string& component,
+               const std::string& msg);
+
+  private:
+    Logger() = default;
+    std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+namespace detail {
+
+class LogLine {
+  public:
+    LogLine(LogLevel lvl, const char* component)
+        : lvl_(lvl), component_(component) {}
+    ~LogLine() { Logger::instance().write(lvl_, component_, os_.str()); }
+
+    template <typename T>
+    LogLine& operator<<(const T& v) {
+        os_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel lvl_;
+    std::string component_;
+    std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define DCDB_LOG(lvl, component)                        \
+    if (!::dcdb::Logger::instance().enabled(lvl)) {     \
+    } else                                              \
+        ::dcdb::detail::LogLine(lvl, component)
+
+#define DCDB_TRACE(c) DCDB_LOG(::dcdb::LogLevel::kTrace, c)
+#define DCDB_DEBUG(c) DCDB_LOG(::dcdb::LogLevel::kDebug, c)
+#define DCDB_INFO(c) DCDB_LOG(::dcdb::LogLevel::kInfo, c)
+#define DCDB_WARN(c) DCDB_LOG(::dcdb::LogLevel::kWarn, c)
+#define DCDB_ERROR(c) DCDB_LOG(::dcdb::LogLevel::kError, c)
+
+}  // namespace dcdb

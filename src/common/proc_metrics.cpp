@@ -1,0 +1,61 @@
+#include "common/proc_metrics.hpp"
+
+#include <sys/resource.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "common/clock.hpp"
+
+namespace dcdb {
+
+namespace {
+
+std::uint64_t rusage_cpu_ns() {
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    const auto tv_ns = [](const timeval& tv) {
+        return static_cast<std::uint64_t>(tv.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(tv.tv_usec) * 1000ull;
+    };
+    return tv_ns(ru.ru_utime) + tv_ns(ru.ru_stime);
+}
+
+}  // namespace
+
+ProcSample sample_self() {
+    ProcSample s;
+    s.wall_ns = steady_ns();
+    s.cpu_ns = rusage_cpu_ns();
+
+    if (FILE* f = std::fopen("/proc/self/statm", "r")) {
+        unsigned long size = 0, resident = 0;
+        if (std::fscanf(f, "%lu %lu", &size, &resident) == 2) {
+            s.rss_bytes = static_cast<std::uint64_t>(resident) *
+                          static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+        }
+        std::fclose(f);
+    }
+    return s;
+}
+
+std::uint64_t thread_cpu_ns() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+double CpuLoadMeter::load_percent() {
+    const ProcSample cur = sample_self();
+    const std::uint64_t dcpu = cur.cpu_ns - last_.cpu_ns;
+    const std::uint64_t dwall = cur.wall_ns - last_.wall_ns;
+    last_ = cur;
+    if (dwall == 0) return 0.0;
+    return 100.0 * static_cast<double>(dcpu) / static_cast<double>(dwall);
+}
+
+std::uint64_t CpuLoadMeter::rss_bytes() const { return sample_self().rss_bytes; }
+
+}  // namespace dcdb

@@ -1,0 +1,141 @@
+#include "common/string_utils.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcdb {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    for (auto& part : split(s, sep)) {
+        if (!part.empty()) out.push_back(std::move(part));
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+namespace {
+
+template <typename T, typename Fn>
+std::optional<T> parse_with(std::string_view s, Fn fn) {
+    const std::string buf{trim(s)};
+    if (buf.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const T v = fn(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+    return v;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+    return parse_with<std::int64_t>(
+        s, [](const char* p, char** e) { return std::strtoll(p, e, 10); });
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+    if (trim(s).substr(0, 1) == "-") return std::nullopt;
+    return parse_with<std::uint64_t>(
+        s, [](const char* p, char** e) { return std::strtoull(p, e, 10); });
+}
+
+std::optional<double> parse_double(std::string_view s) {
+    return parse_with<double>(
+        s, [](const char* p, char** e) { return std::strtod(p, e); });
+}
+
+std::optional<std::uint64_t> parse_duration_ns(std::string_view raw) {
+    const std::string_view s = trim(raw);
+    std::size_t digits = 0;
+    while (digits < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[digits])) ||
+            s[digits] == '.'))
+        ++digits;
+    if (digits == 0) return std::nullopt;
+    const auto num = parse_double(s.substr(0, digits));
+    if (!num) return std::nullopt;
+    const std::string_view unit = trim(s.substr(digits));
+    double factor = 1e6;  // bare numbers are milliseconds
+    if (unit == "ns") factor = 1;
+    else if (unit == "us") factor = 1e3;
+    else if (unit == "ms" || unit.empty()) factor = 1e6;
+    else if (unit == "s") factor = 1e9;
+    else if (unit == "m") factor = 60e9;
+    else if (unit == "h") factor = 3600e9;
+    else return std::nullopt;
+    return static_cast<std::uint64_t>(*num * factor);
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+    const std::string v = to_lower(trim(s));
+    if (v == "true" || v == "on" || v == "1" || v == "yes") return true;
+    if (v == "false" || v == "off" || v == "0" || v == "no") return false;
+    return std::nullopt;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out.push_back(sep);
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+}  // namespace dcdb

@@ -1,0 +1,36 @@
+// Fundamental value types shared across all DCDB components.
+//
+// DCDB enforces one data format for every sensor in the system: a time
+// series of (timestamp, integer value) pairs (paper, Section 3.2,
+// "Sensors"). Timestamps are nanoseconds since the UNIX epoch; values are
+// signed 64-bit integers. Fractional physical quantities are represented
+// via a per-sensor scaling factor held in the sensor metadata (see
+// core/metadata.hpp), exactly as in the original implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dcdb {
+
+/// Nanoseconds since the UNIX epoch.
+using TimestampNs = std::uint64_t;
+
+/// Raw sensor value as stored in the Storage Backend.
+using Value = std::int64_t;
+
+/// A single data point of a sensor's time series.
+struct Reading {
+    TimestampNs ts{0};
+    Value value{0};
+
+    friend bool operator==(const Reading&, const Reading&) = default;
+};
+
+inline constexpr TimestampNs kNsPerUs = 1000ull;
+inline constexpr TimestampNs kNsPerMs = 1000ull * kNsPerUs;
+inline constexpr TimestampNs kNsPerSec = 1000ull * kNsPerMs;
+inline constexpr TimestampNs kTimestampMax =
+    std::numeric_limits<TimestampNs>::max();
+
+}  // namespace dcdb

@@ -1,0 +1,54 @@
+// Unit registry with automatic conversion.
+//
+// Virtual sensors combine operands with different physical units; DCDB
+// "converts the units of the underlying physical sensors automatically"
+// (paper, Section 3.2). A Unit is a named base dimension plus an affine
+// transform (scale, offset) onto that dimension's canonical unit; two units
+// are convertible iff they share a dimension.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dcdb {
+
+enum class Dimension {
+    kNone,         // dimensionless / counters
+    kPower,        // canonical: W
+    kEnergy,       // canonical: J
+    kTemperature,  // canonical: degC
+    kBytes,        // canonical: B
+    kBandwidth,    // canonical: B/s
+    kFrequency,    // canonical: Hz
+    kTime,         // canonical: s
+    kFlow,         // canonical: l/s
+    kVoltage,      // canonical: V
+    kCurrent,      // canonical: A
+    kPercent,      // canonical: %
+};
+
+struct Unit {
+    std::string name;       // e.g. "mW"
+    Dimension dim{Dimension::kNone};
+    double scale{1.0};      // value_in_canonical = value * scale + offset
+    double offset{0.0};
+
+    bool convertible_to(const Unit& other) const { return dim == other.dim; }
+    friend bool operator==(const Unit& a, const Unit& b) {
+        return a.dim == b.dim && a.scale == b.scale && a.offset == b.offset;
+    }
+};
+
+/// Look up a unit by its spelling ("W", "kW", "mW", "J", "kWh", "C",
+/// "degC", "F", "B", "KB/s", "MHz", "s", "ms", "l/min", "%", ...).
+/// Unknown spellings yield a dimensionless pass-through unit so that raw
+/// counters never fail conversion.
+Unit parse_unit(std::string_view name);
+
+/// Convert `value` expressed in `from` into `to`. Throws dcdb::Error when
+/// the dimensions differ (except that kNone converts to anything as a
+/// pass-through, matching DCDB's tolerance for unannotated sensors).
+double convert_unit(double value, const Unit& from, const Unit& to);
+
+}  // namespace dcdb

@@ -1,0 +1,41 @@
+// Sensor hierarchy navigator.
+//
+// "Defining an appropriate hierarchy for sensors is fundamental ...
+// enabling separation of the sensor space greatly improves navigability"
+// (paper, Section 3.1). The Grafana data-source plugin exposes exactly
+// this: browse one level at a time (room -> system -> rack -> node ->
+// sensor). This tree powers the query tool, the REST API and the
+// Grafana-equivalent hierarchical browsing in the examples.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dcdb {
+
+class SensorTree {
+  public:
+    /// Register a sensor topic ("/sys/rack0/node1/power").
+    void add(const std::string& topic);
+
+    /// Child level names under `path` ("" or "/" = root).
+    std::vector<std::string> children(const std::string& path) const;
+
+    /// Full topics of all sensors at or below `path`, sorted.
+    std::vector<std::string> sensors_below(const std::string& path) const;
+
+    /// True if `path` is itself a registered sensor (a leaf).
+    bool is_sensor(const std::string& path) const;
+
+    std::size_t sensor_count() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::set<std::string>> children_;  // path -> names
+    std::set<std::string> sensors_;                          // leaf topics
+};
+
+}  // namespace dcdb

@@ -1,0 +1,73 @@
+#include "core/metadata.hpp"
+
+#include <sstream>
+
+#include "common/string_utils.hpp"
+#include "mqtt/topic.hpp"
+
+namespace dcdb {
+
+namespace {
+const std::string kPrefix = "meta/";
+}
+
+std::string SensorMetadata::serialize() const {
+    std::ostringstream os;
+    os << "unit=" << unit << ";scale=" << scale
+       << ";interval=" << interval_ns << ";ttl=" << ttl_s
+       << ";monotonic=" << (monotonic ? 1 : 0)
+       << ";virtual=" << (is_virtual ? 1 : 0);
+    if (!expression.empty()) os << ";expr=" << expression;
+    return os.str();
+}
+
+SensorMetadata SensorMetadata::deserialize(const std::string& topic,
+                                           const std::string& data) {
+    SensorMetadata md;
+    md.topic = topic;
+    for (const auto& field : split_nonempty(data, ';')) {
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "unit") md.unit = value;
+        else if (key == "scale") md.scale = parse_double(value).value_or(1.0);
+        else if (key == "interval")
+            md.interval_ns = parse_u64(value).value_or(0);
+        else if (key == "ttl")
+            md.ttl_s = static_cast<std::uint32_t>(parse_u64(value).value_or(0));
+        else if (key == "monotonic") md.monotonic = value == "1";
+        else if (key == "virtual") md.is_virtual = value == "1";
+        else if (key == "expr") md.expression = value;
+    }
+    return md;
+}
+
+void MetadataStore::publish(const SensorMetadata& md) {
+    const std::string topic = normalize_sensor_topic(md.topic);
+    meta_.put(kPrefix + topic, md.serialize());
+}
+
+std::optional<SensorMetadata> MetadataStore::get(
+    const std::string& topic) const {
+    const std::string normalized = normalize_sensor_topic(topic);
+    const auto raw = meta_.get(kPrefix + normalized);
+    if (!raw) return std::nullopt;
+    return SensorMetadata::deserialize(normalized, *raw);
+}
+
+void MetadataStore::unpublish(const std::string& topic) {
+    meta_.erase(kPrefix + normalize_sensor_topic(topic));
+}
+
+std::vector<SensorMetadata> MetadataStore::list(
+    const std::string& prefix) const {
+    std::vector<SensorMetadata> out;
+    for (const auto& [key, value] : meta_.scan_prefix(kPrefix + prefix)) {
+        out.push_back(
+            SensorMetadata::deserialize(key.substr(kPrefix.size()), value));
+    }
+    return out;
+}
+
+}  // namespace dcdb

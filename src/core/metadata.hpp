@@ -1,0 +1,48 @@
+// Per-sensor metadata: unit, scaling factor, sampling interval, TTL,
+// virtual-sensor expression. Published by the `config` tool (paper,
+// Section 5.2: "configuring the properties of sensors such as units and
+// scaling factors or defining virtual sensors") and consumed by libDCDB
+// queries for unit conversion and by virtual-sensor evaluation.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "store/metastore.hpp"
+
+namespace dcdb {
+
+struct SensorMetadata {
+    std::string topic;          // normalized sensor topic
+    std::string unit;           // e.g. "W", "mC", "" for raw counters
+    double scale{1.0};          // physical = stored_value * scale
+    TimestampNs interval_ns{0}; // nominal sampling interval (0 = unknown)
+    std::uint32_t ttl_s{0};     // storage TTL (0 = keep forever)
+    bool monotonic{false};      // accumulating counter (energy, packets)
+    bool is_virtual{false};
+    std::string expression;     // virtual sensors only
+
+    /// Serialize to the metastore value format ("k=v;..."), parse back.
+    std::string serialize() const;
+    static SensorMetadata deserialize(const std::string& topic,
+                                      const std::string& data);
+};
+
+/// Typed facade over the metadata rows in a MetaStore.
+class MetadataStore {
+  public:
+    explicit MetadataStore(store::MetaStore& meta) : meta_(meta) {}
+
+    void publish(const SensorMetadata& md);
+    std::optional<SensorMetadata> get(const std::string& topic) const;
+    void unpublish(const std::string& topic);
+
+    /// All published sensors under a topic prefix ("" = all), sorted.
+    std::vector<SensorMetadata> list(const std::string& prefix = "") const;
+
+  private:
+    store::MetaStore& meta_;
+};
+
+}  // namespace dcdb

@@ -1,0 +1,31 @@
+#include "core/payload.hpp"
+
+#include "common/bytebuf.hpp"
+
+namespace dcdb {
+
+std::vector<std::uint8_t> encode_readings(std::span<const Reading> readings) {
+    ByteWriter w(readings.size() * kReadingWireBytes);
+    for (const auto& r : readings) {
+        w.u64be(r.ts);
+        w.i64be(r.value);
+    }
+    return w.take();
+}
+
+std::vector<Reading> decode_readings(std::span<const std::uint8_t> payload) {
+    if (payload.size() % kReadingWireBytes != 0)
+        throw ProtocolError("reading payload size not a multiple of 16");
+    std::vector<Reading> out;
+    out.reserve(payload.size() / kReadingWireBytes);
+    ByteReader r(payload);
+    while (!r.empty()) {
+        Reading reading;
+        reading.ts = r.u64be();
+        reading.value = r.i64be();
+        out.push_back(reading);
+    }
+    return out;
+}
+
+}  // namespace dcdb

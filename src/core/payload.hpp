@@ -1,0 +1,31 @@
+// MQTT payload format for sensor readings.
+//
+// A Pusher batches the readings accumulated since the last send into one
+// PUBLISH per sensor (the real DCDB wire format: a flat array of
+// (timestamp, value) records). Each record is 16 bytes big-endian.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dcdb {
+
+/// Serialize readings into an MQTT payload.
+std::vector<std::uint8_t> encode_readings(std::span<const Reading> readings);
+
+inline std::vector<std::uint8_t> encode_readings(
+    std::initializer_list<Reading> readings) {
+    return encode_readings(
+        std::span<const Reading>(readings.begin(), readings.size()));
+}
+
+/// Parse an MQTT payload back into readings. Throws ProtocolError if the
+/// payload size is not a multiple of the record size.
+std::vector<Reading> decode_readings(std::span<const std::uint8_t> payload);
+
+inline constexpr std::size_t kReadingWireBytes = 16;
+
+}  // namespace dcdb

@@ -1,0 +1,125 @@
+#include "core/sensor_id.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/string_utils.hpp"
+#include "mqtt/topic.hpp"
+
+namespace dcdb {
+
+std::string SensorId::hex() const {
+    std::string out;
+    out.reserve(32);
+    char tmp[3];
+    for (const auto b : bytes) {
+        std::snprintf(tmp, sizeof tmp, "%02x", b);
+        out += tmp;
+    }
+    return out;
+}
+
+namespace {
+
+std::string dict_key(std::size_t level, const std::string& component) {
+    return "sidmap/" + std::to_string(level) + "/" + component;
+}
+
+std::string rev_key(std::size_t level, std::uint16_t id) {
+    return "sidrev/" + std::to_string(level) + "/" + std::to_string(id);
+}
+
+}  // namespace
+
+TopicMapper::TopicMapper(store::MetaStore& meta) : meta_(meta) {
+    next_id_.fill(1);
+    // Rebuild the in-memory dictionaries from the persistent store.
+    for (std::size_t level = 0; level < kSidLevels; ++level) {
+        const std::string prefix = "sidmap/" + std::to_string(level) + "/";
+        for (const auto& [key, value] : meta_.scan_prefix(prefix)) {
+            const std::string component = key.substr(prefix.size());
+            const auto id = parse_u64(value);
+            if (!id || *id == 0 || *id > 0xFFFF) continue;
+            const auto id16 = static_cast<std::uint16_t>(*id);
+            forward_[level][component] = id16;
+            reverse_[level][id16] = component;
+            if (id16 >= next_id_[level])
+                next_id_[level] = static_cast<std::uint16_t>(id16 + 1);
+        }
+    }
+    known_topics_ = meta_.scan_prefix("topics/").size();
+}
+
+SensorId TopicMapper::to_sid(const std::string& topic) {
+    const std::string normalized = normalize_sensor_topic(topic);
+    const auto levels = split_nonempty(normalized, '/');
+    if (levels.empty()) throw Error("empty sensor topic");
+    if (levels.size() > kSidLevels)
+        throw Error("topic exceeds " + std::to_string(kSidLevels) +
+                    " hierarchy levels: " + topic);
+
+    std::scoped_lock lock(mutex_);
+    SensorId sid;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        auto& dict = forward_[i];
+        auto it = dict.find(levels[i]);
+        std::uint16_t id;
+        if (it != dict.end()) {
+            id = it->second;
+        } else {
+            if (next_id_[i] == 0)
+                throw Error("hierarchy level " + std::to_string(i) +
+                            " dictionary exhausted");
+            id = next_id_[i]++;
+            dict.emplace(levels[i], id);
+            reverse_[i].emplace(id, levels[i]);
+            meta_.put(dict_key(i, levels[i]), std::to_string(id));
+            meta_.put(rev_key(i, id), levels[i]);
+        }
+        sid.set_level(i, id);
+    }
+    const std::string topic_key = "topics/" + normalized;
+    if (!meta_.contains(topic_key)) {
+        meta_.put(topic_key, sid.hex());
+        ++known_topics_;
+    }
+    return sid;
+}
+
+std::string TopicMapper::to_topic(const SensorId& sid) const {
+    std::scoped_lock lock(mutex_);
+    std::string out;
+    for (std::size_t i = 0; i < kSidLevels; ++i) {
+        const std::uint16_t id = sid.level(i);
+        if (id == 0) break;
+        const auto it = reverse_[i].find(id);
+        if (it == reverse_[i].end())
+            throw Error("unknown SID component at level " +
+                        std::to_string(i));
+        out.push_back('/');
+        out += it->second;
+    }
+    if (out.empty()) throw Error("SID has no components");
+    return out;
+}
+
+bool TopicMapper::lookup(const std::string& topic, SensorId& out) const {
+    const auto levels = split_nonempty(normalize_sensor_topic(topic), '/');
+    if (levels.empty() || levels.size() > kSidLevels) return false;
+    std::scoped_lock lock(mutex_);
+    SensorId sid;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const auto it = forward_[i].find(levels[i]);
+        if (it == forward_[i].end()) return false;
+        sid.set_level(i, it->second);
+    }
+    out = sid;
+    return true;
+}
+
+std::size_t TopicMapper::known_topics() const {
+    std::scoped_lock lock(mutex_);
+    return known_topics_;
+}
+
+}  // namespace dcdb

@@ -1,0 +1,109 @@
+// 128-bit hierarchical Sensor IDs (SIDs).
+//
+// "Upon retrieval of an MQTT message, a Collect Agent parses the topic of
+// the message and translates it into a unique numerical Sensor ID (SID)
+// that is used as the key to store a sensor's reading ... each topic is
+// split into its hierarchical components and each such component is
+// mapped to a numeric value that is stored in a particular bit field of
+// the 128-bit SID" (paper, Section 4.2). The mapping is 1:1 and
+// persistent, so SIDs are stable across restarts.
+//
+// Layout: 8 big-endian 16-bit fields, one per hierarchy level (topics
+// have at most 8 levels). Component numbers are per-level dictionary ids
+// starting at 1; 0 marks an unused level. Because the topmost levels
+// occupy the most significant bytes, a byte-prefix of the SID selects a
+// sub-tree of the hierarchy — which is exactly what the hierarchy-aware
+// store partitioner keys on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "store/key.hpp"
+#include "store/metastore.hpp"
+
+namespace dcdb {
+
+inline constexpr std::size_t kSidLevels = 8;
+
+struct SensorId {
+    std::array<std::uint8_t, 16> bytes{};
+
+    std::uint16_t level(std::size_t i) const {
+        return static_cast<std::uint16_t>((bytes[2 * i] << 8) |
+                                          bytes[2 * i + 1]);
+    }
+    void set_level(std::size_t i, std::uint16_t v) {
+        bytes[2 * i] = static_cast<std::uint8_t>(v >> 8);
+        bytes[2 * i + 1] = static_cast<std::uint8_t>(v);
+    }
+
+    std::string hex() const;
+
+    friend bool operator==(const SensorId&, const SensorId&) = default;
+};
+
+struct SensorIdHash {
+    std::size_t operator()(const SensorId& sid) const {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const auto b : sid.bytes) h = (h ^ b) * 1099511628211ull;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// Width of one store partition in time: a sensor's series is split into
+/// day-sized buckets, as in DCDB's production Cassandra schema.
+inline constexpr TimestampNs kBucketWidthNs = 24ull * 3600 * kNsPerSec;
+
+inline std::uint32_t time_bucket(TimestampNs ts) {
+    return static_cast<std::uint32_t>(ts / kBucketWidthNs);
+}
+
+/// Partition key for a reading of `sid` at time `ts`.
+inline store::Key sensor_key(const SensorId& sid, TimestampNs ts) {
+    store::Key k;
+    k.sid = sid.bytes;
+    k.bucket = time_bucket(ts);
+    return k;
+}
+
+/// Persistent, bidirectional topic <-> SID dictionary.
+///
+/// Thread-safe; backed by a MetaStore so the mapping survives restarts
+/// (a requirement for SIDs to be usable as long-term storage keys).
+class TopicMapper {
+  public:
+    /// `meta` must outlive the mapper; pass a fresh in-memory MetaStore
+    /// for tests.
+    explicit TopicMapper(store::MetaStore& meta);
+
+    /// Map a topic to its SID, allocating component numbers on first
+    /// sight. Throws Error for invalid topics or >8 levels.
+    SensorId to_sid(const std::string& topic);
+
+    /// Reverse lookup. Throws Error if the SID was never allocated.
+    std::string to_topic(const SensorId& sid) const;
+
+    /// Lookup without allocating; false if the topic is unknown.
+    bool lookup(const std::string& topic, SensorId& out) const;
+
+    std::size_t known_topics() const;
+
+  private:
+    store::MetaStore& meta_;
+    mutable std::mutex mutex_;
+    // Per-level dictionaries.
+    std::array<std::unordered_map<std::string, std::uint16_t>, kSidLevels>
+        forward_;
+    std::array<std::unordered_map<std::uint16_t, std::string>, kSidLevels>
+        reverse_;
+    std::array<std::uint16_t, kSidLevels> next_id_{};
+    std::size_t known_topics_{0};
+};
+
+}  // namespace dcdb

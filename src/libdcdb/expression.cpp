@@ -1,0 +1,257 @@
+#include "libdcdb/expression.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace dcdb::lib {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    ExprPtr parse() {
+        ExprPtr root = parse_expr();
+        skip_ws();
+        if (pos_ != text_.size())
+            throw QueryError("trailing characters in expression at offset " +
+                             std::to_string(pos_));
+        return root;
+    }
+
+  private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek() {
+        skip_ws();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool consume(char c) {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    ExprPtr parse_expr() {
+        ExprPtr lhs = parse_term();
+        while (true) {
+            const char c = peek();
+            if (c != '+' && c != '-') return lhs;
+            ++pos_;
+            auto node = std::make_unique<ExprNode>();
+            node->kind = ExprNode::Kind::kBinary;
+            node->op = c;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_term();
+            lhs = std::move(node);
+        }
+    }
+
+    ExprPtr parse_term() {
+        ExprPtr lhs = parse_factor();
+        while (true) {
+            const char c = peek();
+            if (c != '*' && c != '/') return lhs;
+            ++pos_;
+            auto node = std::make_unique<ExprNode>();
+            node->kind = ExprNode::Kind::kBinary;
+            node->op = c;
+            node->lhs = std::move(lhs);
+            node->rhs = parse_factor();
+            lhs = std::move(node);
+        }
+    }
+
+    ExprPtr parse_factor() {
+        if (consume('-')) {
+            auto node = std::make_unique<ExprNode>();
+            node->kind = ExprNode::Kind::kUnary;
+            node->op = '-';
+            node->lhs = parse_factor();
+            return node;
+        }
+        return parse_primary();
+    }
+
+    ExprPtr parse_primary() {
+        const char c = peek();
+        if (c == '(') {
+            ++pos_;
+            ExprPtr inner = parse_expr();
+            if (!consume(')')) throw QueryError("expected ')'");
+            return inner;
+        }
+        if (c == '/') return parse_sensor();
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.')
+            return parse_number();
+        if (std::isalpha(static_cast<unsigned char>(c))) return parse_call();
+        throw QueryError("unexpected character in expression: '" +
+                         std::string(1, c) + "'");
+    }
+
+    ExprPtr parse_number() {
+        skip_ws();
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E'))))
+            ++end;
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kNumber;
+        try {
+            node->number = std::stod(text_.substr(pos_, end - pos_));
+        } catch (const std::exception&) {
+            throw QueryError("bad number in expression");
+        }
+        pos_ = end;
+        return node;
+    }
+
+    static bool topic_char(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '/' ||
+               c == '_' || c == '.' || c == '-';
+    }
+
+    ExprPtr parse_sensor() {
+        skip_ws();
+        std::size_t end = pos_;
+        while (end < text_.size() && topic_char(text_[end])) ++end;
+        if (end == pos_ + 1) throw QueryError("empty sensor topic");
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kSensor;
+        node->name = text_.substr(pos_, end - pos_);
+        pos_ = end;
+        return node;
+    }
+
+    ExprPtr parse_call() {
+        skip_ws();
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               std::isalpha(static_cast<unsigned char>(text_[end])))
+            ++end;
+        const std::string fn = text_.substr(pos_, end - pos_);
+        pos_ = end;
+        if (fn != "min" && fn != "max" && fn != "abs")
+            throw QueryError("unknown function: " + fn);
+        if (!consume('(')) throw QueryError("expected '(' after " + fn);
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNode::Kind::kCall;
+        node->name = fn;
+        node->args.push_back(parse_expr());
+        if (fn != "abs") {
+            if (!consume(',')) throw QueryError(fn + " needs two arguments");
+            node->args.push_back(parse_expr());
+        }
+        if (!consume(')')) throw QueryError("expected ')' after " + fn);
+        return node;
+    }
+
+    const std::string& text_;
+    std::size_t pos_{0};
+};
+
+void collect(const ExprNode& node, std::set<std::string>& out) {
+    switch (node.kind) {
+        case ExprNode::Kind::kSensor:
+            out.insert(node.name);
+            break;
+        case ExprNode::Kind::kUnary:
+            collect(*node.lhs, out);
+            break;
+        case ExprNode::Kind::kBinary:
+            collect(*node.lhs, out);
+            collect(*node.rhs, out);
+            break;
+        case ExprNode::Kind::kCall:
+            for (const auto& arg : node.args) collect(*arg, out);
+            break;
+        case ExprNode::Kind::kNumber:
+            break;
+    }
+}
+
+}  // namespace
+
+ExprPtr parse_expression(const std::string& text) {
+    return Parser(text).parse();
+}
+
+std::vector<std::string> expression_operands(const ExprNode& root) {
+    std::set<std::string> out;
+    collect(root, out);
+    return {out.begin(), out.end()};
+}
+
+double evaluate_expression(
+    const ExprNode& node,
+    const std::function<double(const std::string&)>& resolve) {
+    switch (node.kind) {
+        case ExprNode::Kind::kNumber:
+            return node.number;
+        case ExprNode::Kind::kSensor:
+            return resolve(node.name);
+        case ExprNode::Kind::kUnary:
+            return -evaluate_expression(*node.lhs, resolve);
+        case ExprNode::Kind::kBinary: {
+            const double a = evaluate_expression(*node.lhs, resolve);
+            const double b = evaluate_expression(*node.rhs, resolve);
+            switch (node.op) {
+                case '+': return a + b;
+                case '-': return a - b;
+                case '*': return a * b;
+                case '/': return b == 0.0 ? 0.0 : a / b;
+            }
+            throw QueryError("bad operator");
+        }
+        case ExprNode::Kind::kCall: {
+            const double a = evaluate_expression(*node.args[0], resolve);
+            if (node.name == "abs") return std::abs(a);
+            const double b = evaluate_expression(*node.args[1], resolve);
+            return node.name == "min" ? std::min(a, b) : std::max(a, b);
+        }
+    }
+    throw QueryError("bad expression node");
+}
+
+std::string expression_to_string(const ExprNode& node) {
+    std::ostringstream os;
+    switch (node.kind) {
+        case ExprNode::Kind::kNumber:
+            os << node.number;
+            break;
+        case ExprNode::Kind::kSensor:
+            os << node.name;
+            break;
+        case ExprNode::Kind::kUnary:
+            os << "(-" << expression_to_string(*node.lhs) << ")";
+            break;
+        case ExprNode::Kind::kBinary:
+            os << "(" << expression_to_string(*node.lhs) << " " << node.op
+               << " " << expression_to_string(*node.rhs) << ")";
+            break;
+        case ExprNode::Kind::kCall:
+            os << node.name << "(";
+            for (std::size_t i = 0; i < node.args.size(); ++i) {
+                if (i) os << ", ";
+                os << expression_to_string(*node.args[i]);
+            }
+            os << ")";
+            break;
+    }
+    return os.str();
+}
+
+}  // namespace dcdb::lib

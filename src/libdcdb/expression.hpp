@@ -1,0 +1,54 @@
+// Arithmetic expression engine for virtual sensors.
+//
+// "Virtual sensors ... are generated according to user-specified
+// arithmetic expressions of arbitrary length, whose operands may either
+// be sensors or virtual sensors themselves" (paper, Section 3.2).
+//
+// Grammar (precedence climbing):
+//   expr    := term (('+' | '-') term)*
+//   term    := factor (('*' | '/') factor)*
+//   factor  := '-' factor | primary
+//   primary := number | sensor-topic | '(' expr ')'
+//              | ('min'|'max'|'abs') '(' expr [',' expr] ')'
+// Sensor topics start with '/' and contain [A-Za-z0-9_./-].
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dcdb::lib {
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+struct ExprNode {
+    enum class Kind { kNumber, kSensor, kUnary, kBinary, kCall };
+    Kind kind;
+    double number{0};
+    std::string name;  // sensor topic, or function name for kCall
+    char op{0};        // '+', '-', '*', '/' (kBinary) or '-' (kUnary)
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;  // kCall
+};
+
+/// Parse an expression; throws QueryError on syntax errors.
+ExprPtr parse_expression(const std::string& text);
+
+/// All distinct sensor topics referenced by the expression.
+std::vector<std::string> expression_operands(const ExprNode& root);
+
+/// Evaluate with sensor values supplied by `resolve`. Division by zero
+/// yields 0 (DCDB's tolerant semantics for gappy monitoring data).
+double evaluate_expression(
+    const ExprNode& root,
+    const std::function<double(const std::string&)>& resolve);
+
+/// Canonical text form (for storage round-trips).
+std::string expression_to_string(const ExprNode& root);
+
+}  // namespace dcdb::lib

@@ -1,0 +1,113 @@
+#include "libdcdb/virtual_sensor.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "libdcdb/connection.hpp"
+
+namespace dcdb::lib {
+
+std::vector<Sample> VirtualEvaluator::operand_series(const std::string& topic,
+                                                     TimestampNs t0,
+                                                     TimestampNs t1) {
+    const auto md = conn_.metadata_store_.get(topic);
+    if (md && md->is_virtual) {
+        if (in_progress_.count(topic))
+            throw QueryError("cyclic virtual sensor definition at " + topic);
+        return evaluate(topic, t0, t1);
+    }
+
+    // Physical sensor: scale to physical units, then convert to the
+    // dimension's canonical unit so operands with different prefixes
+    // (mW vs kW) combine correctly.
+    const double scale = md ? md->scale : 1.0;
+    const Unit unit = parse_unit(md ? md->unit : "");
+    const Unit canonical{"", unit.dim, 1.0, 0.0};
+    std::vector<Sample> out;
+    for (const auto& r : conn_.query_raw(topic, t0, t1)) {
+        const double physical = static_cast<double>(r.value) * scale;
+        out.push_back({r.ts, convert_unit(physical, unit, canonical)});
+    }
+    return out;
+}
+
+std::vector<Sample> VirtualEvaluator::evaluate(const std::string& topic,
+                                               TimestampNs t0,
+                                               TimestampNs t1) {
+    const auto md = conn_.metadata_store_.get(topic);
+    if (!md || !md->is_virtual)
+        throw QueryError("not a virtual sensor: " + topic);
+
+    // Lazy reuse: previously computed results were written back.
+    {
+        const auto cached = conn_.query_raw(topic, t0, t1);
+        if (!cached.empty()) {
+            // Consider the cache usable if it spans the requested window
+            // (up to one nominal step of slack at each end).
+            const TimestampNs slack =
+                md->interval_ns ? 2 * md->interval_ns : 2 * kNsPerSec;
+            const bool covers =
+                cached.front().ts <= t0 + slack &&
+                cached.back().ts + slack >= t1;
+            if (covers) {
+                std::vector<Sample> out;
+                out.reserve(cached.size());
+                for (const auto& r : cached)
+                    out.push_back(
+                        {r.ts, static_cast<double>(r.value) * md->scale});
+                return out;
+            }
+        }
+    }
+
+    in_progress_.insert(topic);
+    const ExprPtr expr = parse_expression(md->expression);
+    const auto operands = expression_operands(*expr);
+    if (operands.empty())
+        throw QueryError("virtual sensor without operands: " + topic);
+
+    std::unordered_map<std::string, std::vector<Sample>> series;
+    const std::vector<Sample>* grid_source = nullptr;
+    for (const auto& operand : operands) {
+        auto s = operand_series(operand, t0, t1);
+        if (s.empty()) {
+            in_progress_.erase(topic);
+            return {};  // an operand has no data in this window
+        }
+        auto [it, ok] = series.emplace(operand, std::move(s));
+        if (!grid_source || it->second.size() > grid_source->size())
+            grid_source = &it->second;
+    }
+    in_progress_.erase(topic);
+
+    // Evaluate on the densest operand's grid; interpolate the rest.
+    std::vector<Sample> result;
+    result.reserve(grid_source->size());
+    for (const auto& grid_point : *grid_source) {
+        const TimestampNs ts = grid_point.ts;
+        const double value = evaluate_expression(
+            *expr, [&](const std::string& operand) {
+                return interpolate_at(series.at(operand), ts);
+            });
+        result.push_back({ts, value});
+    }
+
+    // Write back for reuse ("results of previous queries are written
+    // back to a Storage Backend").
+    const double scale = md->scale != 0.0 ? md->scale : 1.0;
+    for (const auto& sample : result) {
+        conn_.insert(topic,
+                     {sample.ts,
+                      static_cast<Value>(std::llround(sample.value / scale))},
+                     md->ttl_s);
+    }
+    // Quantize the returned values identically, so a cached re-query
+    // returns bit-identical results.
+    for (auto& sample : result)
+        sample.value =
+            static_cast<double>(std::llround(sample.value / scale)) * scale;
+    return result;
+}
+
+}  // namespace dcdb::lib

@@ -1,0 +1,49 @@
+// Virtual sensor evaluation (paper, Section 3.2).
+//
+// Virtual sensors "are evaluated lazily, i.e., they are only computed
+// upon a query and only for the queried period of time. As queries ...
+// may potentially be expensive, results of previous queries are written
+// back to a Storage Backend so they can be re-used later. The units of
+// the underlying physical sensors are converted automatically and we
+// account for different sampling frequencies by linear interpolation."
+//
+// Evaluation:
+//   1. If the store already holds results covering [t0, t1], reuse them.
+//   2. Otherwise fetch each operand series (recursively for virtual
+//      operands, with cycle detection), convert every operand to its
+//      dimension's canonical unit, take the densest operand's timestamps
+//      as the evaluation grid, linearly interpolate the others onto it,
+//      evaluate the expression per grid point, write the results back
+//      (quantized by the virtual sensor's scale), and return them.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "libdcdb/expression.hpp"
+
+namespace dcdb::lib {
+
+class Connection;
+struct Sample;
+
+class VirtualEvaluator {
+  public:
+    explicit VirtualEvaluator(Connection& conn) : conn_(conn) {}
+
+    /// Evaluate the virtual sensor `topic` over [t0, t1]; throws
+    /// QueryError for unknown/cyclic definitions.
+    std::vector<Sample> evaluate(const std::string& topic, TimestampNs t0,
+                                 TimestampNs t1);
+
+  private:
+    std::vector<Sample> operand_series(const std::string& topic,
+                                       TimestampNs t0, TimestampNs t1);
+
+    Connection& conn_;
+    std::set<std::string> in_progress_;  // cycle detection
+};
+
+}  // namespace dcdb::lib

@@ -1,0 +1,181 @@
+#include "mqtt/broker.hpp"
+
+#include "common/logging.hpp"
+#include "mqtt/topic.hpp"
+
+namespace dcdb::mqtt {
+
+MqttBroker::MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port,
+                       bool listen_tcp)
+    : mode_(mode), sink_(std::move(sink)) {
+    if (listen_tcp) {
+        listener_ = std::make_unique<TcpListener>(port);
+        listener_->set_accept_timeout_ms(200);
+        port_ = listener_->port();
+        accept_thread_ = std::thread([this] { accept_loop(); });
+    }
+}
+
+MqttBroker::~MqttBroker() { stop(); }
+
+void MqttBroker::stop() {
+    if (stopping_.exchange(true)) return;
+    if (listener_) listener_->close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    std::list<std::unique_ptr<Session>> sessions;
+    std::vector<std::unique_ptr<Session>> finished;
+    {
+        std::scoped_lock lock(mutex_);
+        sessions.swap(sessions_);
+        finished.swap(finished_);
+    }
+    for (auto& s : sessions) {
+        s->stream.close();
+        if (s->thread.joinable()) s->thread.join();
+    }
+    for (auto& s : finished) {
+        if (s->thread.joinable()) s->thread.join();
+    }
+}
+
+void MqttBroker::accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        auto stream = listener_->accept();
+        if (!stream) continue;
+        // Accepted sockets inherit the listener's accept timeout on
+        // Linux; MQTT sessions must block indefinitely between packets.
+        stream->set_recv_timeout_ms(0);
+        attach(std::make_unique<TcpTransport>(std::move(*stream)));
+    }
+}
+
+std::unique_ptr<Transport> MqttBroker::connect_inproc() {
+    auto [client_end, broker_end] = make_inproc_pair();
+    attach(std::move(broker_end));
+    return std::move(client_end);
+}
+
+void MqttBroker::attach(std::unique_ptr<Transport> transport) {
+    auto session = std::make_unique<Session>(std::move(transport));
+    Session* raw = session.get();
+    std::scoped_lock lock(mutex_);
+    reap_finished_locked();
+    sessions_.push_back(std::move(session));
+    raw->thread = std::thread([this, raw] { session_loop(raw); });
+}
+
+void MqttBroker::reap_finished_locked() {
+    for (auto& s : finished_) {
+        if (s->thread.joinable()) s->thread.join();
+    }
+    finished_.clear();
+}
+
+void MqttBroker::session_loop(Session* session) {
+    try {
+        while (!stopping_.load(std::memory_order_relaxed)) {
+            auto packet = session->stream.read_packet();
+            if (!packet) break;
+
+            if (auto* connect = std::get_if<Connect>(&*packet)) {
+                session->client_id = connect->client_id;
+                session->connected = true;
+                connections_.fetch_add(1, std::memory_order_relaxed);
+                session->stream.write_packet(Connack{0, false});
+            } else if (!session->connected) {
+                throw ProtocolError("packet before CONNECT");
+            } else if (auto* pub = std::get_if<Publish>(&*packet)) {
+                handle_publish(session, *pub);
+            } else if (auto* sub = std::get_if<Subscribe>(&*packet)) {
+                Suback ack;
+                ack.packet_id = sub->packet_id;
+                if (mode_ == BrokerMode::kReduced) {
+                    // Reduced broker: no topic filtering at all.
+                    ack.return_codes.assign(sub->filters.size(), 0x80);
+                    rejected_subscribes_.fetch_add(
+                        sub->filters.size(), std::memory_order_relaxed);
+                } else {
+                    std::scoped_lock lock(mutex_);
+                    for (const auto& [filter, qos] : sub->filters) {
+                        session->filters.push_back(filter);
+                        ack.return_codes.push_back(std::min<std::uint8_t>(qos, 1));
+                    }
+                }
+                session->stream.write_packet(ack);
+            } else if (auto* unsub = std::get_if<Unsubscribe>(&*packet)) {
+                {
+                    std::scoped_lock lock(mutex_);
+                    for (const auto& f : unsub->filters)
+                        std::erase(session->filters, f);
+                }
+                session->stream.write_packet(Unsuback{unsub->packet_id});
+            } else if (std::get_if<Pingreq>(&*packet)) {
+                session->stream.write_packet(Pingresp{});
+            } else if (std::get_if<Disconnect>(&*packet)) {
+                break;
+            }
+            // PUBACKs from subscribers and stray CONNACK/SUBACKs ignored.
+        }
+    } catch (const std::exception& e) {
+        if (!stopping_.load())
+            DCDB_DEBUG("mqtt") << "broker session ended: " << e.what();
+    }
+    session->stream.close();
+
+    // Move ourselves to the finished list; stop()/attach() joins later.
+    std::scoped_lock lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if (it->get() == session) {
+            finished_.push_back(std::move(*it));
+            sessions_.erase(it);
+            break;
+        }
+    }
+}
+
+void MqttBroker::handle_publish(Session* session, const Publish& p) {
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(p.payload.size(), std::memory_order_relaxed);
+    // Process before acknowledging: a QoS-1 PUBACK means the reading has
+    // reached the storage path, so publishers can rely on it.
+    if (sink_) sink_(p);
+    if (mode_ == BrokerMode::kFull) route(p);
+    if (p.qos == 1) session->stream.write_packet(Puback{p.packet_id});
+}
+
+void MqttBroker::route(const Publish& p) {
+    // Forwarded messages are delivered at QoS 0: DCDB's only subscriber is
+    // the storage path (already served by the sink), so downstream
+    // consumers are best-effort by design.
+    Publish out = p;
+    out.qos = 0;
+    out.packet_id = 0;
+    std::scoped_lock lock(mutex_);
+    for (auto& session : sessions_) {
+        if (!session->connected) continue;
+        for (const auto& filter : session->filters) {
+            if (topic_matches(filter, p.topic)) {
+                try {
+                    session->stream.write_packet(out);
+                } catch (const std::exception&) {
+                    // Subscriber went away; its session loop will clean up.
+                }
+                forwarded_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
+}
+
+BrokerStats MqttBroker::stats() const {
+    BrokerStats s;
+    s.connections = connections_.load();
+    s.publishes = publishes_.load();
+    s.payload_bytes = payload_bytes_.load();
+    s.forwarded = forwarded_.load();
+    s.rejected_subscribes = rejected_subscribes_.load();
+    return s;
+}
+
+}  // namespace dcdb::mqtt

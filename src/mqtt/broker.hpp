@@ -1,0 +1,100 @@
+// MQTT broker.
+//
+// The Collect Agent embeds "a custom MQTT implementation that only
+// provides a subset of features necessary for its tasks. In particular,
+// it only supports the publish interface of the MQTT standard, but not
+// the subscribe interface" (paper, Section 4.2) — this "avoids additional
+// overhead for filtering MQTT topics". We implement both modes:
+//
+//   * kReduced — every inbound PUBLISH goes straight to the message sink;
+//     SUBSCRIBE is rejected (0x80 per-filter return codes). This is the
+//     Collect Agent configuration.
+//   * kFull    — a standard pub/sub broker with '+'/'#' filter routing,
+//     used by the reduced-vs-full ablation and by third-party consumers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mqtt/transport.hpp"
+
+namespace dcdb::mqtt {
+
+enum class BrokerMode { kReduced, kFull };
+
+struct BrokerStats {
+    std::uint64_t connections{0};
+    std::uint64_t publishes{0};
+    std::uint64_t payload_bytes{0};
+    std::uint64_t forwarded{0};
+    std::uint64_t rejected_subscribes{0};
+};
+
+class MqttBroker {
+  public:
+    /// Sink invoked (from session threads) for every inbound PUBLISH.
+    using MessageSink = std::function<void(const Publish&)>;
+
+    /// Start the broker. `port` 0 picks an ephemeral TCP port; pass
+    /// `listen_tcp = false` for a purely in-process broker.
+    MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port = 0,
+               bool listen_tcp = true);
+    ~MqttBroker();
+
+    MqttBroker(const MqttBroker&) = delete;
+    MqttBroker& operator=(const MqttBroker&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    /// Open an in-process connection to this broker; the returned transport
+    /// is the client end (wrap it in an MqttClient).
+    std::unique_ptr<Transport> connect_inproc();
+
+    BrokerStats stats() const;
+
+    void stop();
+
+  private:
+    struct Session {
+        explicit Session(std::unique_ptr<Transport> t)
+            : stream(std::move(t)) {}
+        PacketStream stream;
+        std::vector<std::string> filters;  // guarded by broker mutex
+        std::string client_id;
+        bool connected{false};
+        std::thread thread;
+    };
+
+    void accept_loop();
+    void attach(std::unique_ptr<Transport> transport);
+    void session_loop(Session* session);
+    void handle_publish(Session* session, const Publish& p);
+    void route(const Publish& p);
+    void reap_finished_locked();
+
+    BrokerMode mode_;
+    MessageSink sink_;
+    std::unique_ptr<TcpListener> listener_;
+    std::uint16_t port_{0};
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex mutex_;
+    std::list<std::unique_ptr<Session>> sessions_;
+    std::vector<std::unique_ptr<Session>> finished_;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> publishes_{0};
+    std::atomic<std::uint64_t> payload_bytes_{0};
+    std::atomic<std::uint64_t> forwarded_{0};
+    std::atomic<std::uint64_t> rejected_subscribes_{0};
+};
+
+}  // namespace dcdb::mqtt

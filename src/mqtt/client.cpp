@@ -1,0 +1,182 @@
+#include "mqtt/client.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace dcdb::mqtt {
+
+namespace {
+constexpr auto kAckTimeout = std::chrono::seconds(10);
+}
+
+MqttClient::MqttClient(std::unique_ptr<Transport> transport,
+                       std::string client_id)
+    : stream_(std::move(transport)), client_id_(std::move(client_id)) {}
+
+MqttClient::~MqttClient() { disconnect(); }
+
+std::unique_ptr<MqttClient> MqttClient::connect_tcp(
+    const std::string& host, std::uint16_t port, const std::string& client_id) {
+    auto transport =
+        std::make_unique<TcpTransport>(TcpStream::connect(host, port));
+    auto client =
+        std::make_unique<MqttClient>(std::move(transport), client_id);
+    client->connect();
+    return client;
+}
+
+void MqttClient::connect(std::uint16_t keepalive_s) {
+    stream_.write_packet(Connect{client_id_, keepalive_s, true});
+    // Handshake happens before the reader thread exists, so read inline.
+    const auto reply = stream_.read_packet();
+    if (!reply) throw NetError("connection closed during MQTT handshake");
+    const auto* ack = std::get_if<Connack>(&*reply);
+    if (!ack) throw ProtocolError("expected CONNACK");
+    if (ack->return_code != 0)
+        throw ProtocolError("connection refused, rc=" +
+                            std::to_string(ack->return_code));
+    connected_.store(true);
+    reader_ = std::thread([this] { reader_loop(); });
+}
+
+void MqttClient::reader_loop() {
+    try {
+        while (!stopping_.load(std::memory_order_relaxed)) {
+            auto packet = stream_.read_packet();
+            if (!packet) break;
+            if (auto* pub = std::get_if<Publish>(&*packet)) {
+                if (pub->qos == 1) stream_.write_packet(Puback{pub->packet_id});
+                MessageHandler handler;
+                {
+                    std::scoped_lock lock(ack_mutex_);
+                    handler = handler_;
+                }
+                if (handler) handler(*pub);
+            } else if (auto* ack = std::get_if<Puback>(&*packet)) {
+                std::scoped_lock lock(ack_mutex_);
+                pending_acks_.erase(ack->packet_id);
+                ack_cv_.notify_all();
+            } else if (auto* sub_ack = std::get_if<Suback>(&*packet)) {
+                std::scoped_lock lock(ack_mutex_);
+                for (const auto rc : sub_ack->return_codes) {
+                    if (rc == 0x80)
+                        DCDB_WARN("mqtt")
+                            << "broker rejected a subscription filter";
+                }
+                pending_acks_.erase(sub_ack->packet_id);
+                ack_cv_.notify_all();
+            } else if (std::get_if<Unsuback>(&*packet)) {
+                // No unsubscribe waiters implemented; ignore.
+            } else if (std::get_if<Pingresp>(&*packet)) {
+                std::scoped_lock lock(ack_mutex_);
+                ping_outstanding_ = false;
+                ack_cv_.notify_all();
+            }
+        }
+    } catch (const std::exception& e) {
+        if (!stopping_.load())
+            DCDB_DEBUG("mqtt") << "client reader stopped: " << e.what();
+    }
+    connected_.store(false);
+    ack_cv_.notify_all();
+}
+
+std::uint16_t MqttClient::next_packet_id() {
+    // Caller holds ack_mutex_. Zero is not a valid MQTT packet id.
+    if (++packet_id_seq_ == 0) ++packet_id_seq_;
+    return packet_id_seq_;
+}
+
+void MqttClient::wait_ack(std::uint16_t packet_id, const char* what) {
+    std::unique_lock lock(ack_mutex_);
+    const bool ok = ack_cv_.wait_for(lock, kAckTimeout, [&] {
+        return pending_acks_.count(packet_id) == 0 || !connected_.load();
+    });
+    if (!ok || pending_acks_.count(packet_id))
+        throw NetError(std::string(what) + " not acknowledged");
+}
+
+void MqttClient::publish(const std::string& topic,
+                         std::span<const std::uint8_t> payload,
+                         std::uint8_t qos) {
+    if (!connected_.load()) throw NetError("publish on disconnected client");
+    Publish p;
+    p.topic = topic;
+    p.payload.assign(payload.begin(), payload.end());
+    p.qos = qos;
+    if (qos == 0) {
+        stream_.write_packet(p);
+    } else {
+        {
+            std::scoped_lock lock(ack_mutex_);
+            p.packet_id = next_packet_id();
+            pending_acks_.insert(p.packet_id);
+        }
+        stream_.write_packet(p);
+        wait_ack(p.packet_id, "publish");
+    }
+    publishes_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(p.payload.size() + topic.size(),
+                          std::memory_order_relaxed);
+}
+
+void MqttClient::publish(const std::string& topic, const std::string& payload,
+                         std::uint8_t qos) {
+    publish(topic,
+            std::span(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                      payload.size()),
+            qos);
+}
+
+void MqttClient::set_message_handler(MessageHandler handler) {
+    std::scoped_lock lock(ack_mutex_);
+    handler_ = std::move(handler);
+}
+
+void MqttClient::subscribe(const std::vector<std::string>& filters,
+                           std::uint8_t qos) {
+    if (!connected_.load()) throw NetError("subscribe on disconnected client");
+    Subscribe s;
+    {
+        std::scoped_lock lock(ack_mutex_);
+        s.packet_id = next_packet_id();
+        pending_acks_.insert(s.packet_id);
+    }
+    for (const auto& f : filters) s.filters.emplace_back(f, qos);
+    stream_.write_packet(s);
+    wait_ack(s.packet_id, "subscribe");
+}
+
+void MqttClient::ping() {
+    if (!connected_.load()) throw NetError("ping on disconnected client");
+    {
+        std::scoped_lock lock(ack_mutex_);
+        ping_outstanding_ = true;
+    }
+    stream_.write_packet(Pingreq{});
+    std::unique_lock lock(ack_mutex_);
+    const bool ok = ack_cv_.wait_for(lock, kAckTimeout, [&] {
+        return !ping_outstanding_ || !connected_.load();
+    });
+    if (!ok || ping_outstanding_) throw NetError("ping not answered");
+}
+
+void MqttClient::disconnect() {
+    if (stopping_.exchange(true)) {
+        if (reader_.joinable()) reader_.join();
+        return;
+    }
+    if (connected_.load()) {
+        try {
+            stream_.write_packet(Disconnect{});
+        } catch (const std::exception&) {
+            // Transport may already be gone; proceed with shutdown.
+        }
+    }
+    stream_.close();
+    if (reader_.joinable()) reader_.join();
+    connected_.store(false);
+}
+
+}  // namespace dcdb::mqtt

@@ -1,0 +1,93 @@
+// MQTT client used by Pushers (and by anything that wants to subscribe to
+// live sensor data from a full broker).
+//
+// Mirrors the subset of the Mosquitto client API the DCDB Pusher relies
+// on: connect, publish at QoS 0/1, subscribe with a message callback, and
+// a clean disconnect. A background reader thread dispatches inbound
+// packets; QoS-1 publishes block until the matching PUBACK arrives.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "mqtt/transport.hpp"
+
+namespace dcdb::mqtt {
+
+class MqttClient {
+  public:
+    using MessageHandler = std::function<void(const Publish&)>;
+
+    /// Wrap a connected transport. Call connect() before anything else.
+    explicit MqttClient(std::unique_ptr<Transport> transport,
+                        std::string client_id);
+    ~MqttClient();
+
+    MqttClient(const MqttClient&) = delete;
+    MqttClient& operator=(const MqttClient&) = delete;
+
+    /// Convenience: open a TCP connection and perform the MQTT handshake.
+    static std::unique_ptr<MqttClient> connect_tcp(const std::string& host,
+                                                   std::uint16_t port,
+                                                   const std::string& client_id);
+
+    /// CONNECT/CONNACK handshake; starts the reader thread on success.
+    void connect(std::uint16_t keepalive_s = 60);
+
+    /// Publish; QoS 1 blocks until PUBACK (or throws on timeout).
+    void publish(const std::string& topic,
+                 std::span<const std::uint8_t> payload, std::uint8_t qos = 0);
+    void publish(const std::string& topic, const std::string& payload,
+                 std::uint8_t qos = 0);
+
+    /// Set before subscribe(); invoked from the reader thread.
+    void set_message_handler(MessageHandler handler);
+
+    /// SUBSCRIBE/SUBACK round trip; throws if the broker rejects a filter.
+    void subscribe(const std::vector<std::string>& filters,
+                   std::uint8_t qos = 0);
+
+    /// Liveness probe: PINGREQ/PINGRESP round trip.
+    void ping();
+
+    /// Orderly DISCONNECT; safe to call multiple times.
+    void disconnect();
+
+    bool connected() const { return connected_.load(); }
+
+    /// Counters for footprint accounting.
+    std::uint64_t publishes_sent() const { return publishes_sent_.load(); }
+    std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+
+  private:
+    void reader_loop();
+    std::uint16_t next_packet_id();
+    void wait_ack(std::uint16_t packet_id, const char* what);
+
+    PacketStream stream_;
+    std::string client_id_;
+    MessageHandler handler_;
+
+    std::thread reader_;
+    std::atomic<bool> connected_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::mutex ack_mutex_;
+    std::condition_variable ack_cv_;
+    std::unordered_set<std::uint16_t> pending_acks_;
+    std::uint16_t packet_id_seq_{0};
+    bool ping_outstanding_{false};
+
+    std::atomic<std::uint64_t> publishes_sent_{0};
+    std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace dcdb::mqtt

@@ -1,0 +1,206 @@
+#include "mqtt/packet.hpp"
+
+#include "mqtt/topic.hpp"
+
+namespace dcdb::mqtt {
+
+namespace {
+
+constexpr std::uint8_t kConnectFlagCleanSession = 0x02;
+
+std::vector<std::uint8_t> with_fixed_header(std::uint8_t first_byte,
+                                            const ByteWriter& body) {
+    ByteWriter out(body.size() + 5);
+    out.u8(first_byte);
+    out.varint(static_cast<std::uint32_t>(body.size()));
+    out.bytes(body.data());
+    return out.take();
+}
+
+}  // namespace
+
+PacketType packet_type(const Packet& p) {
+    struct Visitor {
+        PacketType operator()(const Connect&) { return PacketType::kConnect; }
+        PacketType operator()(const Connack&) { return PacketType::kConnack; }
+        PacketType operator()(const Publish&) { return PacketType::kPublish; }
+        PacketType operator()(const Puback&) { return PacketType::kPuback; }
+        PacketType operator()(const Subscribe&) {
+            return PacketType::kSubscribe;
+        }
+        PacketType operator()(const Suback&) { return PacketType::kSuback; }
+        PacketType operator()(const Unsubscribe&) {
+            return PacketType::kUnsubscribe;
+        }
+        PacketType operator()(const Unsuback&) {
+            return PacketType::kUnsuback;
+        }
+        PacketType operator()(const Pingreq&) { return PacketType::kPingreq; }
+        PacketType operator()(const Pingresp&) {
+            return PacketType::kPingresp;
+        }
+        PacketType operator()(const Disconnect&) {
+            return PacketType::kDisconnect;
+        }
+    };
+    return std::visit(Visitor{}, p);
+}
+
+std::vector<std::uint8_t> encode(const Packet& p) {
+    struct Visitor {
+        std::vector<std::uint8_t> operator()(const Connect& c) {
+            ByteWriter body;
+            body.mqtt_str("MQTT");
+            body.u8(4);  // protocol level 3.1.1
+            body.u8(c.clean_session ? kConnectFlagCleanSession : 0);
+            body.u16be(c.keepalive_s);
+            body.mqtt_str(c.client_id);
+            return with_fixed_header(0x10, body);
+        }
+        std::vector<std::uint8_t> operator()(const Connack& c) {
+            ByteWriter body;
+            body.u8(c.session_present ? 1 : 0);
+            body.u8(c.return_code);
+            return with_fixed_header(0x20, body);
+        }
+        std::vector<std::uint8_t> operator()(const Publish& p) {
+            if (p.qos > 2) throw ProtocolError("invalid qos");
+            ByteWriter body;
+            body.mqtt_str(p.topic);
+            if (p.qos > 0) body.u16be(p.packet_id);
+            body.bytes(p.payload);
+            const std::uint8_t flags =
+                static_cast<std::uint8_t>((p.dup ? 0x08 : 0) |
+                                          (p.qos << 1) | (p.retain ? 1 : 0));
+            return with_fixed_header(0x30 | flags, body);
+        }
+        std::vector<std::uint8_t> operator()(const Puback& a) {
+            ByteWriter body;
+            body.u16be(a.packet_id);
+            return with_fixed_header(0x40, body);
+        }
+        std::vector<std::uint8_t> operator()(const Subscribe& s) {
+            ByteWriter body;
+            body.u16be(s.packet_id);
+            for (const auto& [filter, qos] : s.filters) {
+                body.mqtt_str(filter);
+                body.u8(qos);
+            }
+            return with_fixed_header(0x82, body);  // reserved flags 0010
+        }
+        std::vector<std::uint8_t> operator()(const Suback& s) {
+            ByteWriter body;
+            body.u16be(s.packet_id);
+            for (const auto rc : s.return_codes) body.u8(rc);
+            return with_fixed_header(0x90, body);
+        }
+        std::vector<std::uint8_t> operator()(const Unsubscribe& u) {
+            ByteWriter body;
+            body.u16be(u.packet_id);
+            for (const auto& filter : u.filters) body.mqtt_str(filter);
+            return with_fixed_header(0xA2, body);
+        }
+        std::vector<std::uint8_t> operator()(const Unsuback& u) {
+            ByteWriter body;
+            body.u16be(u.packet_id);
+            return with_fixed_header(0xB0, body);
+        }
+        std::vector<std::uint8_t> operator()(const Pingreq&) {
+            return with_fixed_header(0xC0, ByteWriter{});
+        }
+        std::vector<std::uint8_t> operator()(const Pingresp&) {
+            return with_fixed_header(0xD0, ByteWriter{});
+        }
+        std::vector<std::uint8_t> operator()(const Disconnect&) {
+            return with_fixed_header(0xE0, ByteWriter{});
+        }
+    };
+    return std::visit(Visitor{}, p);
+}
+
+Packet decode(std::uint8_t first_byte, std::span<const std::uint8_t> body) {
+    const auto type = static_cast<PacketType>(first_byte >> 4);
+    const std::uint8_t flags = first_byte & 0x0F;
+    ByteReader r(body);
+
+    switch (type) {
+        case PacketType::kConnect: {
+            const std::string proto = r.mqtt_str();
+            if (proto != "MQTT" && proto != "MQIsdp")
+                throw ProtocolError("bad protocol name: " + proto);
+            const std::uint8_t level = r.u8();
+            if (level != 4 && level != 3)
+                throw ProtocolError("unsupported protocol level");
+            const std::uint8_t connect_flags = r.u8();
+            Connect c;
+            c.clean_session = connect_flags & kConnectFlagCleanSession;
+            c.keepalive_s = r.u16be();
+            c.client_id = r.mqtt_str();
+            return c;
+        }
+        case PacketType::kConnack: {
+            Connack c;
+            c.session_present = r.u8() & 1;
+            c.return_code = r.u8();
+            return c;
+        }
+        case PacketType::kPublish: {
+            Publish p;
+            p.dup = flags & 0x08;
+            p.qos = (flags >> 1) & 0x03;
+            p.retain = flags & 0x01;
+            if (p.qos > 2) throw ProtocolError("invalid qos in publish");
+            p.topic = r.mqtt_str();
+            if (!topic_valid(p.topic))
+                throw ProtocolError("invalid publish topic: " + p.topic);
+            if (p.qos > 0) p.packet_id = r.u16be();
+            const auto rest = r.bytes(r.remaining());
+            p.payload.assign(rest.begin(), rest.end());
+            return p;
+        }
+        case PacketType::kPuback:
+            return Puback{r.u16be()};
+        case PacketType::kSubscribe: {
+            if (flags != 0x02)
+                throw ProtocolError("bad subscribe flags");
+            Subscribe s;
+            s.packet_id = r.u16be();
+            while (!r.empty()) {
+                std::string filter = r.mqtt_str();
+                const std::uint8_t qos = r.u8();
+                if (!filter_valid(filter))
+                    throw ProtocolError("invalid filter: " + filter);
+                s.filters.emplace_back(std::move(filter), qos);
+            }
+            if (s.filters.empty())
+                throw ProtocolError("subscribe without filters");
+            return s;
+        }
+        case PacketType::kSuback: {
+            Suback s;
+            s.packet_id = r.u16be();
+            while (!r.empty()) s.return_codes.push_back(r.u8());
+            return s;
+        }
+        case PacketType::kUnsubscribe: {
+            if (flags != 0x02) throw ProtocolError("bad unsubscribe flags");
+            Unsubscribe u;
+            u.packet_id = r.u16be();
+            while (!r.empty()) u.filters.push_back(r.mqtt_str());
+            return u;
+        }
+        case PacketType::kUnsuback:
+            return Unsuback{r.u16be()};
+        case PacketType::kPingreq:
+            return Pingreq{};
+        case PacketType::kPingresp:
+            return Pingresp{};
+        case PacketType::kDisconnect:
+            return Disconnect{};
+        default:
+            throw ProtocolError("unknown packet type " +
+                                std::to_string(first_byte >> 4));
+    }
+}
+
+}  // namespace dcdb::mqtt

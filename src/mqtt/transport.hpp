@@ -1,0 +1,79 @@
+// Byte-stream transports for MQTT sessions.
+//
+// Two implementations: real TCP (the deployment path) and an in-process
+// pipe pair. The in-proc transport lets benches run 50+ concurrent
+// "hosts" against one Collect Agent without exhausting sockets, and makes
+// protocol tests deterministic; it exercises the identical codec and
+// broker logic because framing happens above this interface.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+
+#include "mqtt/packet.hpp"
+#include "net/socket.hpp"
+
+namespace dcdb::mqtt {
+
+class Transport {
+  public:
+    virtual ~Transport() = default;
+
+    /// Send the whole buffer (blocking). Throws NetError on failure.
+    virtual void send(std::span<const std::uint8_t> data) = 0;
+
+    /// Receive up to buf.size() bytes; returns 0 on EOF/close.
+    virtual std::size_t recv(std::span<std::uint8_t> buf) = 0;
+
+    /// Unblock any pending recv and fail future operations.
+    virtual void close() = 0;
+};
+
+class TcpTransport final : public Transport {
+  public:
+    explicit TcpTransport(TcpStream stream);
+
+    void send(std::span<const std::uint8_t> data) override;
+    std::size_t recv(std::span<std::uint8_t> buf) override;
+    void close() override;
+
+  private:
+    TcpStream stream_;
+    std::mutex send_mutex_;
+};
+
+/// Create a cross-wired pair of in-process transports: bytes sent on one
+/// end are received on the other.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_inproc_pair();
+
+/// Framed MQTT packet stream over a Transport. Reading is single-consumer;
+/// writes are internally serialized so multiple threads may send.
+class PacketStream {
+  public:
+    explicit PacketStream(std::unique_ptr<Transport> transport)
+        : transport_(std::move(transport)) {}
+
+    /// Read the next packet; nullopt on orderly EOF. Throws ProtocolError
+    /// on malformed frames and NetError on transport failure.
+    std::optional<Packet> read_packet();
+
+    void write_packet(const Packet& p);
+
+    void close() { transport_->close(); }
+
+  private:
+    bool fill();
+    bool take_byte(std::uint8_t& out);
+
+    std::unique_ptr<Transport> transport_;
+    std::deque<std::uint8_t> buf_;
+    std::mutex write_mutex_;
+};
+
+}  // namespace dcdb::mqtt

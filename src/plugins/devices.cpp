@@ -1,0 +1,97 @@
+#include "plugins/devices.hpp"
+
+#include "common/error.hpp"
+
+namespace dcdb::plugins {
+
+DeviceRegistry& DeviceRegistry::instance() {
+    static DeviceRegistry registry;
+    return registry;
+}
+
+namespace {
+
+template <typename Map, typename Ptr>
+void add_to(Map& map, std::mutex& mutex, const std::string& name, Ptr ptr) {
+    std::scoped_lock lock(mutex);
+    map[name] = std::move(ptr);
+}
+
+template <typename Map>
+auto get_from(const Map& map, std::mutex& mutex, const std::string& name,
+              const char* kind) {
+    std::scoped_lock lock(mutex);
+    const auto it = map.find(name);
+    if (it == map.end())
+        throw ConfigError(std::string(kind) + " device not registered: " +
+                          name);
+    return it->second;
+}
+
+}  // namespace
+
+void DeviceRegistry::add_bmc(const std::string& name,
+                             std::shared_ptr<sim::BmcModel> bmc) {
+    add_to(bmcs_, mutex_, name, std::move(bmc));
+}
+std::shared_ptr<sim::BmcModel> DeviceRegistry::bmc(
+    const std::string& name) const {
+    return get_from(bmcs_, mutex_, name, "ipmi");
+}
+
+void DeviceRegistry::add_bacnet(const std::string& name,
+                                std::shared_ptr<sim::BacnetDeviceSim> device) {
+    add_to(bacnets_, mutex_, name, std::move(device));
+}
+std::shared_ptr<sim::BacnetDeviceSim> DeviceRegistry::bacnet(
+    const std::string& name) const {
+    return get_from(bacnets_, mutex_, name, "bacnet");
+}
+
+void DeviceRegistry::add_pmu(const std::string& name,
+                             std::shared_ptr<sim::PerfCounterModel> pmu) {
+    add_to(pmus_, mutex_, name, std::move(pmu));
+}
+std::shared_ptr<sim::PerfCounterModel> DeviceRegistry::pmu(
+    const std::string& name) const {
+    return get_from(pmus_, mutex_, name, "pmu");
+}
+
+void DeviceRegistry::add_fabric(const std::string& name,
+                                std::shared_ptr<sim::FabricPortModel> fabric) {
+    add_to(fabrics_, mutex_, name, std::move(fabric));
+}
+std::shared_ptr<sim::FabricPortModel> DeviceRegistry::fabric(
+    const std::string& name) const {
+    return get_from(fabrics_, mutex_, name, "fabric");
+}
+
+void DeviceRegistry::add_fs(const std::string& name,
+                            std::shared_ptr<sim::FsStatsModel> fs) {
+    add_to(fss_, mutex_, name, std::move(fs));
+}
+std::shared_ptr<sim::FsStatsModel> DeviceRegistry::fs(
+    const std::string& name) const {
+    return get_from(fss_, mutex_, name, "fs");
+}
+
+void DeviceRegistry::add_gpu(const std::string& name,
+                             std::shared_ptr<sim::GpuDeviceModel> gpu) {
+    add_to(gpus_, mutex_, name, std::move(gpu));
+}
+std::shared_ptr<sim::GpuDeviceModel> DeviceRegistry::gpu(
+    const std::string& name) const {
+    return get_from(gpus_, mutex_, name, "gpu");
+}
+
+void DeviceRegistry::clear() {
+    std::scoped_lock lock(mutex_);
+    bmcs_.clear();
+    bacnets_.clear();
+    pmus_.clear();
+    fabrics_.clear();
+    fss_.clear();
+    gpus_.clear();
+}
+
+}  // namespace dcdb::plugins

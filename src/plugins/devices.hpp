@@ -1,0 +1,69 @@
+// Device registry: the bridge between plugin configurations (which can
+// only name things) and the simulated device models they read from.
+//
+// In production DCDB an IPMI plugin config carries the BMC's address; in
+// this reproduction the "address" is a name under which a bench/example
+// registered a device model. SNMP remains fully address-based (real UDP
+// ports); procfs/sysfs read real files.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/bacnet_device.hpp"
+#include "sim/bmc.hpp"
+#include "sim/fabric.hpp"
+#include "sim/fs_stats.hpp"
+#include "sim/gpu.hpp"
+#include "sim/perf_counters.hpp"
+
+namespace dcdb::plugins {
+
+class DeviceRegistry {
+  public:
+    static DeviceRegistry& instance();
+
+    void add_bmc(const std::string& name, std::shared_ptr<sim::BmcModel> bmc);
+    std::shared_ptr<sim::BmcModel> bmc(const std::string& name) const;
+
+    void add_bacnet(const std::string& name,
+                    std::shared_ptr<sim::BacnetDeviceSim> device);
+    std::shared_ptr<sim::BacnetDeviceSim> bacnet(
+        const std::string& name) const;
+
+    void add_pmu(const std::string& name,
+                 std::shared_ptr<sim::PerfCounterModel> pmu);
+    std::shared_ptr<sim::PerfCounterModel> pmu(const std::string& name) const;
+
+    void add_fabric(const std::string& name,
+                    std::shared_ptr<sim::FabricPortModel> fabric);
+    std::shared_ptr<sim::FabricPortModel> fabric(
+        const std::string& name) const;
+
+    void add_fs(const std::string& name,
+                std::shared_ptr<sim::FsStatsModel> fs);
+    std::shared_ptr<sim::FsStatsModel> fs(const std::string& name) const;
+
+    void add_gpu(const std::string& name,
+                 std::shared_ptr<sim::GpuDeviceModel> gpu);
+    std::shared_ptr<sim::GpuDeviceModel> gpu(const std::string& name) const;
+
+    /// Drop all registrations (test isolation).
+    void clear();
+
+  private:
+    template <typename T>
+    using Map = std::unordered_map<std::string, std::shared_ptr<T>>;
+
+    mutable std::mutex mutex_;
+    Map<sim::BmcModel> bmcs_;
+    Map<sim::BacnetDeviceSim> bacnets_;
+    Map<sim::PerfCounterModel> pmus_;
+    Map<sim::FabricPortModel> fabrics_;
+    Map<sim::FsStatsModel> fss_;
+    Map<sim::GpuDeviceModel> gpus_;
+};
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,25 @@
+// GPFS plugin: parallel-filesystem I/O metrics (paper, Section 3.1).
+// Reads cumulative byte/operation counters from a simulated mmpmon-style
+// source and publishes deltas.
+//
+// Configuration:
+//   gpfs {
+//       device fs0            ; DeviceRegistry name
+//       group io { interval 1s }
+//   }
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class GpfsPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "gpfs"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,29 @@
+// GPU plugin: per-device utilization, memory, power, temperature and SM
+// clock — the GPU monitoring support named as future work in the paper's
+// Section 9, implemented against an NVML-style device model.
+//
+// Configuration:
+//   gpu {
+//       device node0_gpus     ; DeviceRegistry name
+//       group gpus { interval 1s }
+//   }
+//
+// Creates one group per physical GPU is not necessary: one group reads
+// all devices collectively (they share the sampling interval), with five
+// sensors per device.
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class GpuPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "gpu"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,31 @@
+// IPMI plugin: out-of-band sensors of IT components (paper, Section 3.1).
+// Talks the Get Sensor Reading wire format to a BMC (here, a simulated
+// one from the device registry); raw readings are converted to physical
+// values via SDR linear factors and published in milli-units.
+//
+// Configuration:
+//   ipmi {
+//       entity bmc0 { device rack0_bmc }     ; registry name
+//       group board {
+//           entity  bmc0
+//           interval 1s
+//           discover true                    ; sensors from the SDR repo
+//           ; or explicit: sensor cpu0_temp { number 1 }
+//       }
+//   }
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class IpmiPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "ipmi"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,25 @@
+// Omni-Path (OPA) plugin: fabric port counters ("we use OPA to measure
+// network-related metrics", paper Section 6.2.1). Publishes deltas of
+// the monotonic port counters from a simulated HFI.
+//
+// Configuration:
+//   opa {
+//       device hfi0           ; DeviceRegistry name
+//       group port0 { interval 1s }
+//   }
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class OpaPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "opa"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

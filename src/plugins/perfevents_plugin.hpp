@@ -1,0 +1,32 @@
+// Perfevents plugin: per-core CPU performance counters, the paper's
+// highest-volume in-band data source ("thousands of individual sensors
+// per compute node", Section 2). Reads from a simulated PMU (see
+// sim/perf_counters.hpp) since perf_event_open is unavailable here; the
+// plugin logic — per-core×counter sensor fan-out, delta publication of
+// monotonic counters, group-synchronous reads — is identical.
+//
+// Configuration:
+//   perfevents {
+//       device node0pmu              ; DeviceRegistry name
+//       group cpu {
+//           interval 1s
+//           counters instructions,cycles,cache_misses,branch_misses
+//           cores    0-47            ; optional range, default all
+//       }
+//   }
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class PerfeventsPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "perfevents"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

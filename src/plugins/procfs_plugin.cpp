@@ -1,0 +1,163 @@
+#include "plugins/procfs_plugin.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/string_utils.hpp"
+
+namespace dcdb::plugins {
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ConfigError("cannot open " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+using Parser = std::vector<std::pair<std::string, Value>> (*)(
+    const std::string&);
+
+Parser parser_for(const std::string& type) {
+    if (type == "meminfo") return &parse_meminfo;
+    if (type == "vmstat") return &parse_vmstat;
+    if (type == "procstat") return &parse_procstat;
+    throw ConfigError("procfs: unknown type " + type);
+}
+
+class ProcfsGroup final : public pusher::SensorGroup {
+  public:
+    ProcfsGroup(std::string name, TimestampNs interval_ns, std::string path,
+                Parser parser)
+        : SensorGroup(std::move(name), interval_ns),
+          path_(std::move(path)),
+          parser_(parser) {}
+
+    void map_sensor(const std::string& key, std::size_t slot) {
+        slot_of_[key] = slot;
+    }
+
+  protected:
+    bool do_read(TimestampNs, std::vector<Value>& out) override {
+        const auto entries = parser_(slurp(path_));
+        bool any = false;
+        for (const auto& [key, value] : entries) {
+            const auto it = slot_of_.find(key);
+            if (it == slot_of_.end()) continue;  // key appeared later
+            out[it->second] = value;
+            any = true;
+        }
+        return any;
+    }
+
+  private:
+    std::string path_;
+    Parser parser_;
+    std::unordered_map<std::string, std::size_t> slot_of_;
+};
+
+std::string sanitize(const std::string& key) {
+    std::string out;
+    for (const char c : key) {
+        if (c == '(' || c == ')') continue;
+        out.push_back(c == '/' || c == ' ' ? '_' : c);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Value>> parse_meminfo(
+    const std::string& text) {
+    std::vector<std::pair<std::string, Value>> out;
+    for (const auto& line : split_nonempty(text, '\n')) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) continue;
+        const std::string key{trim(line.substr(0, colon))};
+        const auto fields = split_nonempty(line.substr(colon + 1), ' ');
+        if (fields.empty()) continue;
+        const auto value = parse_i64(fields[0]);
+        if (!value) continue;
+        const bool kb = fields.size() > 1 && fields[1] == "kB";
+        out.emplace_back(key, kb ? *value * 1024 : *value);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, Value>> parse_vmstat(
+    const std::string& text) {
+    std::vector<std::pair<std::string, Value>> out;
+    for (const auto& line : split_nonempty(text, '\n')) {
+        const auto fields = split_nonempty(line, ' ');
+        if (fields.size() != 2) continue;
+        const auto value = parse_i64(fields[1]);
+        if (!value) continue;
+        out.emplace_back(fields[0], *value);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, Value>> parse_procstat(
+    const std::string& text) {
+    static const char* kCpuCols[] = {"user",    "nice",  "system", "idle",
+                                     "iowait",  "irq",   "softirq", "steal",
+                                     "guest",   "guest_nice"};
+    std::vector<std::pair<std::string, Value>> out;
+    for (const auto& line : split_nonempty(text, '\n')) {
+        const auto fields = split_nonempty(line, ' ');
+        if (fields.empty()) continue;
+        const std::string& tag = fields[0];
+        if (starts_with(tag, "cpu")) {
+            for (std::size_t c = 1;
+                 c < fields.size() && c <= std::size(kCpuCols); ++c) {
+                const auto value = parse_i64(fields[c]);
+                if (!value) continue;
+                out.emplace_back(tag + "." + kCpuCols[c - 1], *value);
+            }
+        } else if (fields.size() >= 2 &&
+                   (tag == "ctxt" || tag == "processes" || tag == "intr" ||
+                    tag == "procs_running" || tag == "procs_blocked")) {
+            const auto value = parse_i64(fields[1]);
+            if (value) out.emplace_back(tag, *value);
+        }
+    }
+    return out;
+}
+
+void ProcfsPlugin::configure(const ConfigNode& config,
+                             const pusher::PluginContext& ctx) {
+    for (const auto* group_node : config.children_named("group")) {
+        const std::string group_name = group_node->value();
+        const std::string path = group_node->get_string("file");
+        const std::string type =
+            group_node->get_string_or("type", group_name);
+        const auto interval =
+            group_node->get_duration_ns_or("interval", kNsPerSec);
+        const Parser parser = parser_for(type);
+
+        auto group = std::make_unique<ProcfsGroup>(group_name, interval,
+                                                   path, parser);
+        // Discover sensors from the file's current contents.
+        const auto entries = parser(slurp(path));
+        std::size_t slot = 0;
+        for (const auto& [key, value] : entries) {
+            auto& sensor =
+                group->add_sensor(std::make_unique<pusher::SensorBase>(
+                    key, ctx.topic_prefix + "/procfs/" + type + "/" +
+                             sanitize(key)));
+            // Jiffies and event counters accumulate; publish deltas like
+            // the production configuration does.
+            if (type == "vmstat" || type == "procstat")
+                sensor.set_delta(true);
+            group->map_sensor(key, slot++);
+        }
+        add_group(std::move(group));
+    }
+}
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,41 @@
+// ProcFS plugin: samples /proc files — the paper's production
+// configurations collect meminfo, vmstat and procstat (Section 6.2.1).
+//
+// Configuration:
+//   procfs {
+//       group meminfo  { file /proc/meminfo ; type meminfo  ; interval 1s }
+//       group vmstat   { file /proc/vmstat  ; type vmstat }
+//       group procstat { file /proc/stat    ; type procstat }
+//   }
+//
+// Sensors are discovered from the file's current contents at configure
+// time (one per key, or per cpu column for procstat); `file` may point at
+// a fixture for tests. Unknown keys appearing later are ignored (DCDB
+// behaviour: sensor set is fixed at configuration).
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class ProcfsPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "procfs"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+/// Parse helpers (exposed for unit tests).
+/// "MemTotal:  196608 kB" -> {"MemTotal", 196608 * 1024} (bytes)
+std::vector<std::pair<std::string, Value>> parse_meminfo(
+    const std::string& text);
+/// "pgfault 12345" -> {"pgfault", 12345}
+std::vector<std::pair<std::string, Value>> parse_vmstat(
+    const std::string& text);
+/// "cpu0 user nice system idle ..." -> {"cpu0.user", ...} (jiffies)
+std::vector<std::pair<std::string, Value>> parse_procstat(
+    const std::string& text);
+
+}  // namespace dcdb::plugins

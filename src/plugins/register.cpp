@@ -1,0 +1,50 @@
+// Registration of all built-in plugins (the static-link equivalent of
+// DCDB's dynamic plugin loading).
+#include <mutex>
+
+#include "plugins/bacnet_plugin.hpp"
+#include "plugins/gpfs_plugin.hpp"
+#include "plugins/gpu_plugin.hpp"
+#include "plugins/ipmi_plugin.hpp"
+#include "plugins/opa_plugin.hpp"
+#include "plugins/perfevents_plugin.hpp"
+#include "plugins/procfs_plugin.hpp"
+#include "plugins/rest_plugin.hpp"
+#include "plugins/snmp_plugin.hpp"
+#include "plugins/sysfs_plugin.hpp"
+#include "plugins/tester_plugin.hpp"
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+void register_builtin_plugins() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        auto& registry = pusher::PluginRegistry::instance();
+        registry.register_plugin(
+            "tester", [] { return std::make_unique<TesterPlugin>(); });
+        registry.register_plugin(
+            "procfs", [] { return std::make_unique<ProcfsPlugin>(); });
+        registry.register_plugin(
+            "sysfs", [] { return std::make_unique<SysfsPlugin>(); });
+        registry.register_plugin("perfevents", [] {
+            return std::make_unique<PerfeventsPlugin>();
+        });
+        registry.register_plugin(
+            "ipmi", [] { return std::make_unique<IpmiPlugin>(); });
+        registry.register_plugin(
+            "snmp", [] { return std::make_unique<SnmpPlugin>(); });
+        registry.register_plugin(
+            "bacnet", [] { return std::make_unique<BacnetPlugin>(); });
+        registry.register_plugin(
+            "rest", [] { return std::make_unique<RestPlugin>(); });
+        registry.register_plugin(
+            "gpfs", [] { return std::make_unique<GpfsPlugin>(); });
+        registry.register_plugin(
+            "gpu", [] { return std::make_unique<GpuPlugin>(); });
+        registry.register_plugin(
+            "opa", [] { return std::make_unique<OpaPlugin>(); });
+    });
+}
+
+}  // namespace dcdb::plugins

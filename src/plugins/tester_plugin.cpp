@@ -1,0 +1,64 @@
+#include "plugins/tester_plugin.hpp"
+
+#include "common/clock.hpp"
+
+namespace dcdb::plugins {
+
+namespace {
+
+class TesterGroup final : public pusher::SensorGroup {
+  public:
+    TesterGroup(std::string name, TimestampNs interval_ns,
+                std::uint64_t read_cost_ns)
+        : SensorGroup(std::move(name), interval_ns),
+          read_cost_ns_(read_cost_ns) {}
+
+  protected:
+    bool do_read(TimestampNs, std::vector<Value>& out) override {
+        if (read_cost_ns_ > 0) {
+            // Emulate the per-read cost of a real monitoring backend on a
+            // slower architecture: busy work, like a counter read + parse.
+            const std::uint64_t until =
+                steady_ns() + read_cost_ns_ * out.size();
+            volatile std::uint64_t sink = 0;
+            while (steady_ns() < until) sink = sink + 1;
+        }
+        const Value v = static_cast<Value>(counter_++);
+        for (auto& slot : out) slot = v;
+        return true;
+    }
+
+  private:
+    std::uint64_t read_cost_ns_;
+    std::uint64_t counter_{0};
+};
+
+}  // namespace
+
+void TesterPlugin::configure(const ConfigNode& config,
+                             const pusher::PluginContext& ctx) {
+    int group_index = 0;
+    for (const auto* group_node : config.children_named("group")) {
+        const std::string group_name =
+            group_node->value().empty()
+                ? "g" + std::to_string(group_index)
+                : group_node->value();
+        const auto interval =
+            group_node->get_duration_ns_or("interval", kNsPerSec);
+        const auto sensors = group_node->get_u64_or("sensors", 1);
+        const auto read_cost = group_node->get_u64_or("readCostNs", 0);
+
+        auto group = std::make_unique<TesterGroup>(group_name, interval,
+                                                   read_cost);
+        for (std::uint64_t i = 0; i < sensors; ++i) {
+            const std::string sensor_name = "s" + std::to_string(i);
+            group->add_sensor(std::make_unique<pusher::SensorBase>(
+                sensor_name, ctx.topic_prefix + "/tester/" + group_name +
+                                 "/" + sensor_name));
+        }
+        add_group(std::move(group));
+        ++group_index;
+    }
+}
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,30 @@
+// Tester plugin: "generate an arbitrary number of sensors with negligible
+// overhead. This allows us to isolate the overhead of the various
+// monitoring backends ... from that of the Pusher, which is mostly
+// communication-related" (paper, Section 6.2.1). Every scalability
+// experiment (Figures 5-8) runs on it.
+//
+// Configuration:
+//   tester {
+//       group g0 {
+//           sensors    1000
+//           interval   1s
+//           readCostNs 0     ; optional busy-work per sensor read, used to
+//       }                    ; emulate slower architectures' backends
+//   }
+#pragma once
+
+#include <string>
+
+#include "pusher/plugin.hpp"
+
+namespace dcdb::plugins {
+
+class TesterPlugin final : public pusher::Plugin {
+  public:
+    std::string name() const override { return "tester"; }
+    void configure(const ConfigNode& config,
+                   const pusher::PluginContext& ctx) override;
+};
+
+}  // namespace dcdb::plugins

@@ -1,0 +1,93 @@
+#include "pusher/mqtt_pusher.hpp"
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "core/payload.hpp"
+
+namespace dcdb::pusher {
+
+MqttPusher::MqttPusher(ClientProvider client_provider,
+                       const std::vector<std::unique_ptr<Plugin>>* plugins,
+                       MqttPusherConfig config)
+    : client_provider_(std::move(client_provider)),
+      plugins_(plugins),
+      config_(config) {}
+
+MqttPusher::~MqttPusher() { stop(); }
+
+void MqttPusher::start() {
+    if (thread_.joinable()) return;
+    stopping_.store(false);
+    thread_ = std::thread([this] { loop(); });
+}
+
+void MqttPusher::stop() {
+    if (stopping_.exchange(true)) {
+        if (thread_.joinable()) thread_.join();
+        return;
+    }
+    if (thread_.joinable()) thread_.join();
+    // Final flush so no sampled reading is lost on shutdown.
+    try {
+        push_once();
+    } catch (const std::exception& e) {
+        DCDB_WARN("pusher") << "final flush failed: " << e.what();
+    }
+}
+
+std::size_t MqttPusher::push_once() {
+    mqtt::MqttClient* client = client_provider_();
+    if (!client) return 0;  // agent unreachable; retry next round
+    std::size_t sent = 0;
+    for (const auto& plugin : *plugins_) {
+        for (const auto& group : plugin->groups()) {
+            for (const auto& sensor : group->sensors()) {
+                if (sensor->pending_count() == 0) continue;
+                const auto readings = sensor->drain_pending();
+                const auto payload = encode_readings(readings);
+                client->publish(sensor->topic(), payload, config_.qos);
+                readings_.fetch_add(readings.size(),
+                                    std::memory_order_relaxed);
+                messages_.fetch_add(1, std::memory_order_relaxed);
+                ++sent;
+            }
+        }
+    }
+    return sent;
+}
+
+void MqttPusher::loop() {
+    const TimestampNs interval =
+        config_.burst_mode ? config_.burst_interval_ns
+                           : config_.push_interval_ns;
+
+    // "Although the data collection intervals of multiple Pushers are
+    // synchronized, these will send their data at different points in
+    // time in order not to overwhelm the network" — random stagger.
+    Rng rng(config_.stagger_seed + 0x9E3779B9ull);
+    const TimestampNs stagger = rng.next_u64() % interval;
+
+    DCDB_DEBUG("pusher") << "push loop: interval " << interval
+                         << "ns, stagger " << stagger << "ns, burst "
+                         << (config_.burst_mode ? 1 : 0);
+    TimestampNs next = next_aligned(now_ns(), interval) + stagger;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        const TimestampNs now = now_ns();
+        if (now < next) {
+            const TimestampNs wait =
+                std::min<TimestampNs>(next - now, 50 * kNsPerMs);
+            std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+            continue;
+        }
+        try {
+            push_once();
+        } catch (const std::exception& e) {
+            DCDB_WARN("pusher") << "push failed: " << e.what();
+        }
+        next += interval;
+        if (next <= now_ns()) next = next_aligned(now_ns(), interval) + stagger;
+    }
+}
+
+}  // namespace dcdb::pusher

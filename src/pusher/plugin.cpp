@@ -1,0 +1,67 @@
+#include "pusher/plugin.hpp"
+
+#include "common/error.hpp"
+
+namespace dcdb::pusher {
+
+void Plugin::start() {
+    for (auto& group : groups_) group->set_enabled(true);
+}
+
+void Plugin::stop() {
+    for (auto& group : groups_) group->set_enabled(false);
+}
+
+bool Plugin::running() const {
+    for (const auto& group : groups_) {
+        if (group->enabled()) return true;
+    }
+    return false;
+}
+
+void Plugin::clear() {
+    groups_.clear();
+    entities_.clear();
+}
+
+std::size_t Plugin::sensor_count() const {
+    std::size_t n = 0;
+    for (const auto& group : groups_) n += group->sensors().size();
+    return n;
+}
+
+SensorGroup& Plugin::add_group(std::unique_ptr<SensorGroup> group) {
+    groups_.push_back(std::move(group));
+    return *groups_.back();
+}
+
+Entity& Plugin::add_entity(std::unique_ptr<Entity> entity) {
+    entities_.push_back(std::move(entity));
+    return *entities_.back();
+}
+
+PluginRegistry& PluginRegistry::instance() {
+    static PluginRegistry registry;
+    return registry;
+}
+
+void PluginRegistry::register_plugin(const std::string& name,
+                                     Factory factory) {
+    factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Plugin> PluginRegistry::make(const std::string& name) const {
+    const auto it = factories_.find(name);
+    if (it == factories_.end())
+        throw ConfigError("unknown plugin: " + name);
+    return it->second();
+}
+
+std::vector<std::string> PluginRegistry::available() const {
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+}
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,195 @@
+#include "pusher/pusher.hpp"
+
+#include "common/clock.hpp"
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+#include "pusher/rest_api.hpp"
+
+namespace dcdb::pusher {
+
+Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
+    : config_(std::move(config)) {
+    plugins::register_builtin_plugins();
+
+    topic_prefix_ = config_.get_string_or("global.topicPrefix", "/node");
+    const auto cache_window =
+        config_.get_duration_ns_or("global.cacheWindow", 120 * kNsPerSec);
+    cache_ = std::make_unique<CacheSet>(cache_window);
+
+    const int threads = static_cast<int>(
+        config_.get_i64_or("global.threads", 2));
+    sampler_ = std::make_unique<Sampler>(threads, cache_.get());
+
+    configure_plugins();
+
+    // MQTT connection: explicit transport > configured broker > none.
+    const std::string broker =
+        config_.get_string_or("global.mqttBroker", "none");
+    if (transport) {
+        mqtt_client_ = std::make_unique<mqtt::MqttClient>(
+            std::move(transport), "pusher-" + topic_prefix_);
+        mqtt_client_->connect();
+    } else if (broker != "none" && !broker.empty()) {
+        const auto parts = split_nonempty(broker, ':');
+        if (parts.size() != 2)
+            throw ConfigError("mqttBroker must be host:port, got " + broker);
+        const auto port = parse_u64(parts[1]);
+        if (!port || *port > 0xFFFF)
+            throw ConfigError("bad broker port in " + broker);
+        broker_host_ = parts[0];
+        broker_port_ = static_cast<std::uint16_t>(*port);
+        try {
+            mqtt_client_ = mqtt::MqttClient::connect_tcp(
+                broker_host_, broker_port_, "pusher-" + topic_prefix_);
+        } catch (const NetError& e) {
+            // The agent may simply not be up yet; sample into the cache
+            // and keep retrying from the push thread.
+            DCDB_WARN("pusher") << "collect agent unreachable, will "
+                                   "retry: " << e.what();
+        }
+    }
+
+    if (mqtt_client_ || !broker_host_.empty()) {
+        MqttPusherConfig mc;
+        mc.push_interval_ns =
+            config_.get_duration_ns_or("global.pushInterval", kNsPerSec);
+        mc.burst_mode = config_.get_bool_or("global.burstMode", false);
+        mc.qos = static_cast<std::uint8_t>(
+            config_.get_i64_or("global.qos", 0));
+        mc.stagger_seed = std::hash<std::string>{}(topic_prefix_);
+        mqtt_pusher_ = std::make_unique<MqttPusher>(
+            [this] { return client_for_push(); }, &plugins_, mc);
+    }
+
+    if (config_.get_bool_or("global.restApi", false))
+        rest_server_ = make_pusher_rest_server(*this);
+}
+
+std::unique_ptr<Pusher> Pusher::from_file(
+    const std::string& config_path,
+    std::unique_ptr<mqtt::Transport> transport) {
+    auto pusher = std::make_unique<Pusher>(parse_config_file(config_path),
+                                           std::move(transport));
+    pusher->config_path_ = config_path;
+    return pusher;
+}
+
+Pusher::~Pusher() { stop(); }
+
+void Pusher::configure_plugins() {
+    const ConfigNode* plugins_node = config_.child("plugins");
+    if (!plugins_node) return;
+    PluginContext ctx;
+    ctx.topic_prefix = topic_prefix_;
+    for (const auto& plugin_node : plugins_node->children()) {
+        auto plugin = PluginRegistry::instance().make(plugin_node.name());
+        plugin->configure(plugin_node, ctx);
+        for (const auto& group : plugin->groups())
+            sampler_->add_group(group.get());
+        DCDB_INFO("pusher") << "plugin " << plugin->name() << ": "
+                            << plugin->sensor_count() << " sensors";
+        plugins_.push_back(std::move(plugin));
+    }
+}
+
+void Pusher::start() {
+    if (started_) return;
+    started_ = true;
+    sampler_->start();
+    if (mqtt_pusher_) mqtt_pusher_->start();
+}
+
+void Pusher::stop() {
+    if (!started_) {
+        if (rest_server_) rest_server_->stop();
+        return;
+    }
+    started_ = false;
+    sampler_->stop();
+    if (mqtt_pusher_) mqtt_pusher_->stop();
+    if (mqtt_client_) mqtt_client_->disconnect();
+    if (rest_server_) rest_server_->stop();
+}
+
+Plugin* Pusher::find_plugin(const std::string& name) {
+    for (auto& plugin : plugins_) {
+        if (plugin->name() == name) return plugin.get();
+    }
+    return nullptr;
+}
+
+void Pusher::reload_plugin(const std::string& name) {
+    Plugin* plugin = find_plugin(name);
+    if (!plugin) throw ConfigError("no such plugin: " + name);
+
+    // Pull fresh configuration (from disk when we were file-constructed,
+    // so "modify a plugin's configuration file at runtime and trigger a
+    // reload" works as in Section 5.3).
+    if (!config_path_.empty()) config_ = parse_config_file(config_path_);
+    const ConfigNode* plugins_node = config_.child("plugins");
+    const ConfigNode* plugin_node =
+        plugins_node ? plugins_node->child(name) : nullptr;
+    if (!plugin_node)
+        throw ConfigError("plugin " + name + " not in configuration");
+
+    std::vector<SensorGroup*> old_groups;
+    for (const auto& group : plugin->groups())
+        old_groups.push_back(group.get());
+    sampler_->remove_groups(old_groups);
+
+    plugin->clear();
+    PluginContext ctx;
+    ctx.topic_prefix = topic_prefix_;
+    plugin->configure(*plugin_node, ctx);
+    for (const auto& group : plugin->groups())
+        sampler_->add_group(group.get());
+}
+
+mqtt::MqttClient* Pusher::client_for_push() {
+    std::scoped_lock lock(client_mutex_);
+    if (mqtt_client_ && mqtt_client_->connected())
+        return mqtt_client_.get();
+    if (broker_host_.empty()) return nullptr;  // in-proc: no reconnect
+
+    // Reconnect with a 2-second backoff.
+    const std::uint64_t now = steady_ns();
+    if (now - last_connect_attempt_ns_ < 2 * kNsPerSec) return nullptr;
+    last_connect_attempt_ns_ = now;
+    try {
+        if (mqtt_client_) mqtt_client_->disconnect();
+        mqtt_client_ = mqtt::MqttClient::connect_tcp(
+            broker_host_, broker_port_, "pusher-" + topic_prefix_);
+        DCDB_INFO("pusher") << "reconnected to collect agent";
+        return mqtt_client_.get();
+    } catch (const NetError&) {
+        return nullptr;  // still down; retry after the backoff
+    }
+}
+
+bool Pusher::mqtt_connected() const {
+    std::scoped_lock lock(client_mutex_);
+    return mqtt_client_ && mqtt_client_->connected();
+}
+
+PusherStats Pusher::stats() const {
+    PusherStats s;
+    s.plugins = plugins_.size();
+    for (const auto& plugin : plugins_) s.sensors += plugin->sensor_count();
+    s.samples_taken = sampler_->samples_taken();
+    if (mqtt_pusher_) {
+        s.readings_pushed = mqtt_pusher_->readings_pushed();
+        s.messages_sent = mqtt_pusher_->messages_sent();
+    }
+    s.cache_bytes = cache_->memory_bytes();
+    return s;
+}
+
+std::uint16_t Pusher::rest_port() const {
+    return rest_server_ ? rest_server_->port() : 0;
+}
+
+void Pusher::push_now() {
+    if (mqtt_pusher_) mqtt_pusher_->push_once();
+}
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,120 @@
+// The Pusher: DCDB's per-node data collection daemon (paper, Section
+// 4.1). Owns the plugins, the sampling thread pool, the Pusher-wide
+// sensor cache, the MQTT client pushing to a Collect Agent, and the
+// RESTful API server.
+//
+// Configuration (property-tree format):
+//
+//   global {
+//       mqttBroker   127.0.0.1:1883   ; or "none" for cache-only operation
+//       topicPrefix  /lrz/sng/rack0/node0
+//       threads      2                ; sampling threads
+//       cacheWindow  2m               ; sensor cache history
+//       pushInterval 1s
+//       burstMode    false            ; send 2x/minute instead
+//       qos          0
+//       restApi      true
+//   }
+//   plugins {
+//       tester { group t { sensors 100 ; interval 1s } }
+//       procfs { ... }
+//   }
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/sensor_cache.hpp"
+#include "mqtt/client.hpp"
+#include "net/http.hpp"
+#include "pusher/mqtt_pusher.hpp"
+#include "pusher/plugin.hpp"
+#include "pusher/sampler.hpp"
+
+namespace dcdb::pusher {
+
+struct PusherStats {
+    std::size_t plugins{0};
+    std::size_t sensors{0};
+    std::uint64_t samples_taken{0};
+    std::uint64_t readings_pushed{0};
+    std::uint64_t messages_sent{0};
+    std::size_t cache_bytes{0};
+};
+
+class Pusher {
+  public:
+    /// Build from a parsed configuration. `transport`, when provided,
+    /// overrides global.mqttBroker (used for in-process brokers); when
+    /// null and mqttBroker is "none", the Pusher samples into its cache
+    /// without publishing.
+    Pusher(ConfigNode config,
+           std::unique_ptr<mqtt::Transport> transport = nullptr);
+
+    /// Convenience: parse the file, remember its path for REST reloads.
+    static std::unique_ptr<Pusher> from_file(
+        const std::string& config_path,
+        std::unique_ptr<mqtt::Transport> transport = nullptr);
+
+    ~Pusher();
+    Pusher(const Pusher&) = delete;
+    Pusher& operator=(const Pusher&) = delete;
+
+    void start();
+    void stop();
+
+    /// Re-read a plugin's configuration subtree and rebuild its sensors
+    /// without interrupting the rest of the Pusher (REST reload).
+    void reload_plugin(const std::string& name);
+
+    Plugin* find_plugin(const std::string& name);
+    const std::vector<std::unique_ptr<Plugin>>& plugins() const {
+        return plugins_;
+    }
+
+    CacheSet& cache() { return *cache_; }
+    const std::string& topic_prefix() const { return topic_prefix_; }
+
+    PusherStats stats() const;
+
+    const ConfigNode& config() const { return config_; }
+
+    /// Port of the REST API server (0 if disabled).
+    std::uint16_t rest_port() const;
+
+    /// Synchronous drain+publish (benches use this for deterministic IO).
+    void push_now();
+
+    /// True when an MQTT connection to the Collect Agent is currently up.
+    bool mqtt_connected() const;
+
+  private:
+    void configure_plugins();
+
+    /// ClientProvider for the push thread: returns the live client, or
+    /// (for TCP-configured brokers) attempts a reconnect with backoff —
+    /// a Pusher must keep sampling through Collect Agent restarts.
+    mqtt::MqttClient* client_for_push();
+
+    ConfigNode config_;
+    std::string config_path_;  // for reloads; may be empty
+    std::string topic_prefix_;
+
+    std::unique_ptr<CacheSet> cache_;
+    std::vector<std::unique_ptr<Plugin>> plugins_;
+    std::unique_ptr<Sampler> sampler_;
+
+    mutable std::mutex client_mutex_;
+    std::unique_ptr<mqtt::MqttClient> mqtt_client_;
+    std::string broker_host_;          // empty for injected transports
+    std::uint16_t broker_port_{0};
+    std::uint64_t last_connect_attempt_ns_{0};
+    std::unique_ptr<MqttPusher> mqtt_pusher_;
+    std::unique_ptr<HttpServer> rest_server_;
+    bool started_{false};
+};
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,91 @@
+#include "pusher/rest_api.hpp"
+
+#include <sstream>
+
+#include "common/string_utils.hpp"
+#include "pusher/pusher.hpp"
+
+namespace dcdb::pusher {
+
+namespace {
+
+HttpResponse handle_sensors(Pusher& pusher, const HttpRequest& req) {
+    const std::string topic = req.path.substr(std::string("/sensors").size());
+    if (topic.empty() || topic == "/") {
+        std::ostringstream os;
+        for (const auto& t : pusher.cache().topics()) os << t << "\n";
+        return HttpResponse::ok(os.str());
+    }
+
+    const auto avg_param = req.query.find("avg");
+    if (avg_param != req.query.end()) {
+        const auto secs = parse_double(avg_param->second);
+        if (!secs) return HttpResponse::bad_request("bad avg parameter\n");
+        const auto avg = pusher.cache().average(
+            topic, static_cast<TimestampNs>(*secs * 1e9));
+        if (!avg) return HttpResponse::not_found("no data for " + topic + "\n");
+        return HttpResponse::ok(strfmt("%.6f\n", *avg));
+    }
+
+    const auto latest = pusher.cache().latest(topic);
+    if (!latest) return HttpResponse::not_found("no data for " + topic + "\n");
+    return HttpResponse::ok(strfmt("%llu %lld\n",
+                                   static_cast<unsigned long long>(latest->ts),
+                                   static_cast<long long>(latest->value)));
+}
+
+HttpResponse handle_plugins(Pusher& pusher, const HttpRequest& req) {
+    const auto parts = split_nonempty(req.path, '/');
+    // parts[0] == "plugins"
+    if (parts.size() == 1) {
+        if (req.method != "GET")
+            return {405, "text/plain", "method not allowed\n"};
+        std::ostringstream os;
+        for (const auto& plugin : pusher.plugins()) {
+            os << plugin->name() << " "
+               << (plugin->running() ? "running" : "stopped") << " "
+               << plugin->sensor_count() << " sensors\n";
+        }
+        return HttpResponse::ok(os.str());
+    }
+    if (parts.size() != 3 || req.method != "PUT")
+        return HttpResponse::bad_request(
+            "use PUT /plugins/<name>/start|stop|reload\n");
+
+    Plugin* plugin = pusher.find_plugin(parts[1]);
+    if (!plugin) return HttpResponse::not_found("no such plugin\n");
+    const std::string& action = parts[2];
+    if (action == "start") {
+        plugin->start();
+        return HttpResponse::ok("started\n");
+    }
+    if (action == "stop") {
+        plugin->stop();
+        return HttpResponse::ok("stopped\n");
+    }
+    if (action == "reload") {
+        pusher.reload_plugin(parts[1]);
+        return HttpResponse::ok("reloaded\n");
+    }
+    return HttpResponse::bad_request("unknown action: " + action + "\n");
+}
+
+}  // namespace
+
+std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
+    return std::make_unique<HttpServer>(
+        0, [&pusher](const HttpRequest& req) -> HttpResponse {
+            if (starts_with(req.path, "/sensors"))
+                return handle_sensors(pusher, req);
+            if (starts_with(req.path, "/plugins"))
+                return handle_plugins(pusher, req);
+            if (req.path == "/config")
+                return HttpResponse::ok(pusher.config().to_string());
+            if (req.path == "/")
+                return HttpResponse::ok(
+                    "dcdb pusher: /sensors /plugins /config\n");
+            return HttpResponse::not_found();
+        });
+}
+
+}  // namespace dcdb::pusher

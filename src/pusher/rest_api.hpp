@@ -1,0 +1,24 @@
+// Pusher RESTful API (paper, Section 5.3): retrieve the configuration,
+// start/stop/reload individual plugins, and read the sensor cache.
+//
+//   GET  /sensors                      list cached sensor topics
+//   GET  /sensors<topic>               latest reading of a sensor
+//   GET  /sensors<topic>?avg=<sec>     windowed average
+//   GET  /plugins                      plugin list with status
+//   PUT  /plugins/<name>/start|stop    control sampling
+//   PUT  /plugins/<name>/reload        re-read plugin configuration
+//   GET  /config                       running configuration
+#pragma once
+
+#include <memory>
+
+#include "net/http.hpp"
+
+namespace dcdb::pusher {
+
+class Pusher;
+
+/// Create the HTTP server bound to an ephemeral localhost port.
+std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher);
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,88 @@
+#include "pusher/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+
+namespace dcdb::pusher {
+
+Sampler::Sampler(int threads, CacheSet* cache)
+    : thread_count_(std::max(threads, 1)), cache_(cache) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::add_group(SensorGroup* group) {
+    std::scoped_lock lock(mutex_);
+    queue_.push({next_aligned(now_ns(), group->interval_ns()), group});
+    cv_.notify_one();
+}
+
+void Sampler::remove_groups(const std::vector<SensorGroup*>& groups) {
+    std::scoped_lock lock(mutex_);
+    removed_.insert(removed_.end(), groups.begin(), groups.end());
+    cv_.notify_all();
+}
+
+void Sampler::start() {
+    std::scoped_lock lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    threads_.reserve(static_cast<std::size_t>(thread_count_));
+    for (int t = 0; t < thread_count_; ++t)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+void Sampler::stop() {
+    {
+        std::scoped_lock lock(mutex_);
+        if (!running_) return;
+        running_ = false;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) {
+        if (t.joinable()) t.join();
+    }
+    threads_.clear();
+}
+
+void Sampler::worker_loop() {
+    std::unique_lock lock(mutex_);
+    while (running_) {
+        if (queue_.empty()) {
+            cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
+            continue;
+        }
+        Scheduled next = queue_.top();
+
+        // Dropped group? Discard without rescheduling.
+        const auto removed_it =
+            std::find(removed_.begin(), removed_.end(), next.group);
+        if (removed_it != removed_.end()) {
+            queue_.pop();
+            removed_.erase(removed_it);
+            continue;
+        }
+
+        const TimestampNs now = now_ns();
+        if (next.deadline > now) {
+            // Sleep until due (or until a new earlier group arrives).
+            cv_.wait_for(lock,
+                         std::chrono::nanoseconds(next.deadline - now));
+            continue;
+        }
+        queue_.pop();
+        lock.unlock();
+
+        next.group->read_all(next.deadline, cache_);
+        samples_.fetch_add(1, std::memory_order_relaxed);
+
+        lock.lock();
+        // Reschedule at the next aligned boundary, skipping any deadlines
+        // we are too late for (overload shedding rather than backlog).
+        queue_.push({next_aligned(std::max(now_ns(), next.deadline),
+                                  next.group->interval_ns()),
+                     next.group});
+    }
+}
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,56 @@
+#include "pusher/sensor_base.hpp"
+
+#include "mqtt/topic.hpp"
+
+namespace dcdb::pusher {
+
+SensorBase::SensorBase(std::string name, std::string topic)
+    : name_(std::move(name)),
+      topic_(normalize_sensor_topic(topic)) {}
+
+void SensorBase::store_reading(Reading r, CacheSet* cache,
+                               TimestampNs interval_hint_ns) {
+    {
+        std::scoped_lock lock(mutex_);
+        if (delta_) {
+            const Value raw = r.value;
+            if (!last_raw_) {
+                last_raw_ = raw;
+                return;  // first sample of a counter has no delta yet
+            }
+            r.value = raw - *last_raw_;
+            last_raw_ = raw;
+        }
+        if (pending_.size() >= kMaxPending) {
+            pending_.erase(pending_.begin());
+            ++dropped_;
+        }
+        pending_.push_back(r);
+        latest_ = r;
+    }
+    if (cache) cache->push(topic_, r, interval_hint_ns);
+}
+
+std::vector<Reading> SensorBase::drain_pending() {
+    std::vector<Reading> out;
+    std::scoped_lock lock(mutex_);
+    out.swap(pending_);
+    return out;
+}
+
+std::optional<Reading> SensorBase::latest() const {
+    std::scoped_lock lock(mutex_);
+    return latest_;
+}
+
+std::size_t SensorBase::pending_count() const {
+    std::scoped_lock lock(mutex_);
+    return pending_.size();
+}
+
+std::uint64_t SensorBase::dropped_readings() const {
+    std::scoped_lock lock(mutex_);
+    return dropped_;
+}
+
+}  // namespace dcdb::pusher

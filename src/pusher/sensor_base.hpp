@@ -1,0 +1,74 @@
+// SensorBase — "the most basic unit for data collection. A sensor
+// represents a single data source that cannot be divided any further"
+// (paper, Section 4.1). A sensor always belongs to a group.
+//
+// Each sensor owns a pending buffer (readings accumulated since the last
+// MQTT push) and mirrors every reading into the Pusher-wide sensor cache
+// that backs the REST API.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/sensor_cache.hpp"
+
+namespace dcdb::pusher {
+
+class SensorBase {
+  public:
+    /// `topic` is the full MQTT topic this sensor publishes under.
+    SensorBase(std::string name, std::string topic);
+    virtual ~SensorBase() = default;
+
+    const std::string& name() const { return name_; }
+    const std::string& topic() const { return topic_; }
+
+    /// Metadata hints carried to the Collect Agent / storage layer.
+    void set_unit(std::string unit) { unit_ = std::move(unit); }
+    const std::string& unit() const { return unit_; }
+    void set_scale(double scale) { scale_ = scale; }
+    double scale() const { return scale_; }
+    /// Delta mode: publish differences of a monotonic counter instead of
+    /// raw values (DCDB's "delta" sensor attribute).
+    void set_delta(bool delta) { delta_ = delta; }
+    bool delta() const { return delta_; }
+
+    /// Record one reading (called from sampler threads). Applies delta
+    /// conversion if enabled and mirrors the reading into `cache` (may be
+    /// null in unit tests).
+    void store_reading(Reading r, CacheSet* cache,
+                       TimestampNs interval_hint_ns);
+
+    /// Readings accumulated since the last drain (consumed by the MQTT
+    /// push thread). Swap-based: no allocation on the sampling path.
+    std::vector<Reading> drain_pending();
+
+    /// Pending readings are capped so a dead Collect Agent cannot grow a
+    /// Pusher without bound; the oldest readings are dropped first (the
+    /// sensor cache still covers its window, and the storage layer will
+    /// simply have a gap — DCDB favours fresh data over total recall).
+    static constexpr std::size_t kMaxPending = 4096;
+
+    std::uint64_t dropped_readings() const;
+
+    std::optional<Reading> latest() const;
+    std::size_t pending_count() const;
+
+  private:
+    std::string name_;
+    std::string topic_;
+    std::string unit_;
+    double scale_{1.0};
+    bool delta_{false};
+
+    mutable std::mutex mutex_;
+    std::vector<Reading> pending_;
+    std::optional<Reading> latest_;
+    std::optional<Value> last_raw_;  // for delta conversion
+    std::uint64_t dropped_{0};
+};
+
+}  // namespace dcdb::pusher

@@ -1,0 +1,95 @@
+#include "sim/apps.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dcdb::sim {
+
+const AppPhase& AppModel::phase_at(double t_s) const {
+    if (phases.empty()) throw Error("app model without phases: " + name);
+    const double cycle = cycle_length_s();
+    double offset = std::fmod(t_s, cycle);
+    for (const auto& phase : phases) {
+        if (offset < phase.duration_s) return phase;
+        offset -= phase.duration_s;
+    }
+    return phases.back();
+}
+
+double AppModel::cycle_length_s() const {
+    double total = 0;
+    for (const auto& phase : phases) total += phase.duration_s;
+    return total > 0 ? total : 1.0;
+}
+
+AppModel quicksilver() {
+    AppModel m;
+    m.name = "quicksilver";
+    m.step_compute_s = 0.25;
+    m.compute_noise = 0.03;
+    m.comm_fraction = 0.08;   // infrequent particle exchange
+    m.net_sensitivity = 0.5;
+    m.cpu_sensitivity = 1.0;
+    m.steps = 200;
+    // High computational density, mild tracking/tallying dip.
+    m.phases = {{4.0, 2.1, 0.92}, {1.0, 1.7, 0.85}};
+    return m;
+}
+
+AppModel lammps() {
+    AppModel m;
+    m.name = "lammps";
+    m.step_compute_s = 0.20;
+    m.compute_noise = 0.02;
+    m.comm_fraction = 0.12;   // halo exchange each step
+    m.net_sensitivity = 0.7;
+    m.cpu_sensitivity = 1.0;
+    m.steps = 250;
+    // Force computation vs neighbor-list rebuild: two distinct modes.
+    m.phases = {{3.0, 1.5, 0.90}, {1.2, 0.7, 0.70}};
+    return m;
+}
+
+AppModel amg() {
+    AppModel m;
+    m.name = "amg";
+    m.step_compute_s = 0.06;
+    m.compute_noise = 0.05;
+    m.comm_fraction = 0.45;   // many small messages, fine-grained sync
+    m.net_sensitivity = 2.5;  // extremely sensitive to network interference
+    m.cpu_sensitivity = 1.2;
+    m.steps = 800;            // many short iterations
+    // Setup vs V-cycle solve vs coarse-grid levels: memory-bound, low IPC.
+    m.phases = {{2.0, 0.9, 0.75}, {1.5, 0.5, 0.65}, {0.8, 0.35, 0.60}};
+    return m;
+}
+
+AppModel kripke() {
+    AppModel m;
+    m.name = "kripke";
+    m.step_compute_s = 0.30;
+    m.compute_noise = 0.02;
+    m.comm_fraction = 0.10;   // sweep pipeline, structured comm
+    m.net_sensitivity = 0.6;
+    m.cpu_sensitivity = 1.0;
+    m.steps = 180;
+    // Steady, very dense sweep kernels.
+    m.phases = {{5.0, 2.4, 0.95}, {0.8, 2.0, 0.90}};
+    return m;
+}
+
+const std::vector<AppModel>& coral2_apps() {
+    static const std::vector<AppModel> apps = {quicksilver(), lammps(), amg(),
+                                               kripke()};
+    return apps;
+}
+
+AppModel app_by_name(const std::string& name) {
+    for (const auto& app : coral2_apps()) {
+        if (app.name == name) return app;
+    }
+    throw Error("unknown application model: " + name);
+}
+
+}  // namespace dcdb::sim

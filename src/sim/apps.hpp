@@ -1,0 +1,62 @@
+// CORAL-2 application models.
+//
+// The paper evaluates against Quicksilver, LAMMPS, AMG and Kripke
+// (Section 6.1: "these four benchmarks cover a large portion of the
+// behavior spectrum of HPC applications"). Without the proprietary-scale
+// testbed we model each application along the two axes the experiments
+// measure:
+//
+//   * the discrete-event cluster simulation (Figure 4) needs each app's
+//     communication structure — AMG is "notorious for using many small
+//     MPI messages and fine-granular synchronization" and therefore
+//     dominated by network interference;
+//   * the application-characterization case study (Figure 10) needs each
+//     app's phase-structured IPC and power profile, which determine the
+//     instructions-per-Watt density.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcdb::sim {
+
+/// One execution phase: the app cycles through its phases repeatedly.
+struct AppPhase {
+    double duration_s{1.0};
+    double ipc{1.0};        // retired instructions per cycle per core
+    double activity{0.8};   // fraction of peak dynamic power
+};
+
+struct AppModel {
+    std::string name;
+
+    // --- communication structure (drives the cluster DES) ---
+    double step_compute_s{0.1};   // compute per iteration per node
+    double compute_noise{0.02};   // relative jitter of compute time
+    double comm_fraction{0.1};    // share of an iteration spent in MPI
+    double net_sensitivity{1.0};  // comm inflation when a push collides
+    double cpu_sensitivity{1.0};  // sensitivity to sampler CPU steal
+    int steps{400};               // iterations (weak scaling: constant)
+
+    // --- node-level behavior (drives perf counters & power) ---
+    std::vector<AppPhase> phases;
+
+    /// Phase active at wall-clock offset `t_s` into the run.
+    const AppPhase& phase_at(double t_s) const;
+    double cycle_length_s() const;
+};
+
+/// Monte-Carlo particle transport; compute-dense, stable high IPC.
+AppModel quicksilver();
+/// Molecular dynamics; alternating force/neighbor phases (bimodal IPC).
+AppModel lammps();
+/// Algebraic multigrid; many small messages, fine-grained sync, and
+/// setup/solve phases with low IPC.
+AppModel amg();
+/// Deterministic Sn transport sweeps; high, steady computational density.
+AppModel kripke();
+
+const std::vector<AppModel>& coral2_apps();
+AppModel app_by_name(const std::string& name);
+
+}  // namespace dcdb::sim

@@ -1,0 +1,65 @@
+#include "sim/arch.hpp"
+
+#include "common/error.hpp"
+
+namespace dcdb::sim {
+
+ArchModel skylake() {
+    ArchModel m;
+    m.name = "skylake";
+    m.system = "SuperMUC-NG";
+    m.sockets = 2;
+    m.cores_per_socket = 24;
+    m.threads_per_core = 2;
+    m.freq_ghz = 2.3;  // 8174 AVX-heavy sustained clock
+    m.single_thread_speed = 1.0;
+    m.plugins = {"perfevents", "procfs", "sysfs", "opa"};
+    m.production_sensors = 2477;
+    m.paper_overhead_percent = 1.77;
+    return m;
+}
+
+ArchModel haswell() {
+    ArchModel m;
+    m.name = "haswell";
+    m.system = "CooLMUC-2";
+    m.sockets = 2;
+    m.cores_per_socket = 14;
+    m.threads_per_core = 1;
+    m.freq_ghz = 2.6;
+    m.single_thread_speed = 0.85;
+    m.plugins = {"perfevents", "procfs", "sysfs"};
+    m.production_sensors = 750;
+    m.paper_overhead_percent = 0.69;
+    return m;
+}
+
+ArchModel knights_landing() {
+    ArchModel m;
+    m.name = "knl";
+    m.system = "CooLMUC-3";
+    m.sockets = 1;
+    m.cores_per_socket = 64;
+    m.threads_per_core = 4;
+    m.freq_ghz = 1.3;
+    m.single_thread_speed = 0.30;  // weak in-order-ish silvermont core
+    m.plugins = {"perfevents", "procfs", "sysfs", "opa"};
+    m.production_sensors = 3176;
+    m.paper_overhead_percent = 4.14;
+    return m;
+}
+
+const std::vector<ArchModel>& all_architectures() {
+    static const std::vector<ArchModel> archs = {skylake(), haswell(),
+                                                 knights_landing()};
+    return archs;
+}
+
+ArchModel arch_by_name(const std::string& name) {
+    for (const auto& arch : all_architectures()) {
+        if (arch.name == name) return arch;
+    }
+    throw Error("unknown architecture: " + name);
+}
+
+}  // namespace dcdb::sim

@@ -1,0 +1,51 @@
+// Node architecture models for the three LRZ production systems in the
+// paper's Table 1. We obviously cannot swap the host CPU, so an
+// architecture is modelled by the parameters that drive the paper's
+// observed differences: core/thread counts (which set the number of
+// per-core sensors a production configuration instantiates) and relative
+// single-thread speed (Knights Landing's weakness is why it shows the
+// worst Pusher overhead). The speed factor scales the simulated
+// per-sensor read cost in the tester/perfevents plugins and the DES.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcdb::sim {
+
+struct ArchModel {
+    std::string name;         // "skylake", "haswell", "knl"
+    std::string system;       // "SuperMUC-NG", "CooLMUC-2", "CooLMUC-3"
+    int sockets{1};
+    int cores_per_socket{1};
+    int threads_per_core{1};
+    double freq_ghz{2.0};
+    /// Single-thread performance relative to Skylake (= 1.0).
+    double single_thread_speed{1.0};
+    /// Production Pusher plugin set for this system (paper, Table 1).
+    std::vector<std::string> plugins;
+    /// Per-node sensor count of the production configuration (Table 1).
+    int production_sensors{0};
+    /// Paper-reported HPL overhead of the production config (Table 1),
+    /// recorded here so benches can print paper-vs-measured side by side.
+    double paper_overhead_percent{0.0};
+
+    int physical_cores() const { return sockets * cores_per_socket; }
+    int hardware_threads() const {
+        return physical_cores() * threads_per_core;
+    }
+    /// Cost multiplier for simulated per-read work (1/speed).
+    double read_cost_factor() const { return 1.0 / single_thread_speed; }
+};
+
+/// Intel Xeon Platinum 8174 (SuperMUC-NG): 2s x 24c x 2t, strong ST perf.
+ArchModel skylake();
+/// Intel Xeon E5-2697 v3 (CooLMUC-2): 2s x 14c, strong ST perf.
+ArchModel haswell();
+/// Intel Xeon Phi 7210-F (CooLMUC-3): 64c x 4t, weak ST perf.
+ArchModel knights_landing();
+
+const std::vector<ArchModel>& all_architectures();
+ArchModel arch_by_name(const std::string& name);
+
+}  // namespace dcdb::sim

@@ -1,0 +1,65 @@
+#include "sim/bacnet_device.hpp"
+
+#include <cmath>
+
+#include "common/bytebuf.hpp"
+
+namespace dcdb::sim {
+
+void BacnetDeviceSim::add_object(std::uint32_t instance,
+                                 const std::string& name,
+                                 std::function<double()> getter) {
+    std::scoped_lock lock(mutex_);
+    objects_[instance] = Object{name, std::move(getter)};
+}
+
+std::vector<std::uint8_t> BacnetDeviceSim::handle(
+    std::span<const std::uint8_t> request) {
+    std::scoped_lock lock(mutex_);
+    if (request.size() < 6) return {kBacnetStatusUnknownService};
+    ByteReader r(request);
+    const std::uint8_t service = r.u8();
+    const std::uint32_t instance = r.u32be();
+    const std::uint8_t property = r.u8();
+    if (service != kBacnetReadProperty ||
+        property != kBacnetPropPresentValue)
+        return {kBacnetStatusUnknownService};
+
+    const auto it = objects_.find(instance);
+    if (it == objects_.end()) return {kBacnetStatusUnknownObject};
+
+    const double value = it->second.getter();
+    ByteWriter w;
+    w.u8(kBacnetStatusOk);
+    w.i64be(static_cast<std::int64_t>(std::llround(value * 1000.0)));
+    return w.take();
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> BacnetDeviceSim::objects()
+    const {
+    std::scoped_lock lock(mutex_);
+    std::vector<std::pair<std::uint32_t, std::string>> out;
+    out.reserve(objects_.size());
+    for (const auto& [instance, object] : objects_)
+        out.emplace_back(instance, object.name);
+    return out;
+}
+
+std::vector<std::uint8_t> bacnet_read_request(std::uint32_t instance) {
+    ByteWriter w;
+    w.u8(kBacnetReadProperty);
+    w.u32be(instance);
+    w.u8(kBacnetPropPresentValue);
+    return w.take();
+}
+
+bool bacnet_parse_response(std::span<const std::uint8_t> response,
+                           double& value_out) {
+    if (response.size() < 9 || response[0] != kBacnetStatusOk) return false;
+    ByteReader r(response);
+    r.u8();  // status
+    value_out = static_cast<double>(r.i64be()) / 1000.0;
+    return true;
+}
+
+}  // namespace dcdb::sim

@@ -1,0 +1,54 @@
+// BACnet building-automation device simulator.
+//
+// Models the facility-management side of the paper's BACnet plugin: a
+// device exposes analog-input objects (chiller temperatures, pump flows,
+// valve positions) addressed by object instance, read with a compact
+// ReadProperty encoding: request {u8 service, u32 object_id, u8 property},
+// response {u8 status, i64 value_milli} (values in thousandths to keep
+// the wire integer, like BACnet's REAL scaled for DCDB ingestion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcdb::sim {
+
+inline constexpr std::uint8_t kBacnetReadProperty = 0x0C;
+inline constexpr std::uint8_t kBacnetPropPresentValue = 85;
+inline constexpr std::uint8_t kBacnetStatusOk = 0;
+inline constexpr std::uint8_t kBacnetStatusUnknownObject = 1;
+inline constexpr std::uint8_t kBacnetStatusUnknownService = 2;
+
+class BacnetDeviceSim {
+  public:
+    /// Register an analog-input object; the getter returns the present
+    /// value in physical units.
+    void add_object(std::uint32_t instance, const std::string& name,
+                    std::function<double()> getter);
+
+    /// Handle one request; response starts with a status byte.
+    std::vector<std::uint8_t> handle(std::span<const std::uint8_t> request);
+
+    std::vector<std::pair<std::uint32_t, std::string>> objects() const;
+
+  private:
+    mutable std::mutex mutex_;
+    struct Object {
+        std::string name;
+        std::function<double()> getter;
+    };
+    std::map<std::uint32_t, Object> objects_;
+};
+
+/// Client-side helper used by the BACnet plugin: build a ReadProperty
+/// request and parse the response (value in physical units).
+std::vector<std::uint8_t> bacnet_read_request(std::uint32_t instance);
+bool bacnet_parse_response(std::span<const std::uint8_t> response,
+                           double& value_out);
+
+}  // namespace dcdb::sim

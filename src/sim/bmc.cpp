@@ -1,0 +1,101 @@
+#include "sim/bmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcdb::sim {
+
+BmcModel::BmcModel(std::uint64_t seed) : seed_(seed) {}
+
+void BmcModel::add_sensor(std::uint8_t number, const std::string& name,
+                          const std::string& unit, double mu, double sigma,
+                          double m, double b) {
+    std::scoped_lock lock(mutex_);
+    Sensor s{IpmiSdr{number, name, unit, m, b},
+             OuProcess(mu, 0.8, sigma, seed_ + number)};
+    sensors_.push_back(std::move(s));
+}
+
+void BmcModel::add_typical_server_sensors() {
+    // Raw byte spans 0..255; pick M/B so typical values sit mid-range.
+    add_sensor(1, "cpu0_temp", "C", 58.0, 1.5, 0.5, 0.0);
+    add_sensor(2, "cpu1_temp", "C", 56.0, 1.5, 0.5, 0.0);
+    add_sensor(3, "board_temp", "C", 42.0, 0.8, 0.5, 0.0);
+    add_sensor(4, "rail_12v", "V", 12.05, 0.03, 0.06, 5.0);
+    add_sensor(5, "psu_power", "W", 350.0, 12.0, 4.0, 0.0);
+    add_sensor(6, "inlet_air", "C", 24.0, 0.4, 0.5, 0.0);
+}
+
+void BmcModel::tick(double dt_s) {
+    std::scoped_lock lock(mutex_);
+    for (auto& s : sensors_) s.process.step(dt_s);
+}
+
+const BmcModel::Sensor* BmcModel::find(std::uint8_t number) const {
+    for (const auto& s : sensors_) {
+        if (s.sdr.sensor_number == number) return &s;
+    }
+    return nullptr;
+}
+
+std::vector<std::uint8_t> BmcModel::handle(
+    std::span<const std::uint8_t> request) {
+    std::scoped_lock lock(mutex_);
+    if (request.size() < 2) return {kIpmiCompletionInvalidCmd};
+    const std::uint8_t netfn = request[0];
+    const std::uint8_t cmd = request[1];
+    if (netfn != kIpmiNetFnSensor) return {kIpmiCompletionInvalidCmd};
+
+    if (cmd == kIpmiCmdGetSensorReading) {
+        if (request.size() < 3) return {kIpmiCompletionInvalidCmd};
+        const Sensor* s = find(request[2]);
+        if (!s) return {kIpmiCompletionInvalidSensor};
+        // value = M*raw + B  =>  raw = (value - B) / M
+        const double raw_d = (s->process.value() - s->sdr.b) / s->sdr.m;
+        const auto raw = static_cast<std::uint8_t>(
+            std::clamp(raw_d, 0.0, 255.0));
+        // completion, raw reading, "reading available" flags, thresholds.
+        return {kIpmiCompletionOk, raw, 0xC0, 0x00};
+    }
+
+    if (cmd == kIpmiCmdGetSdr) {
+        // Simplified SDR read: request carries the record id (= index);
+        // response: completion, count, then per-record header fields.
+        if (request.size() < 3) return {kIpmiCompletionInvalidCmd};
+        const std::uint8_t index = request[2];
+        if (index >= sensors_.size()) return {kIpmiCompletionInvalidSensor};
+        const IpmiSdr& sdr = sensors_[index].sdr;
+        std::vector<std::uint8_t> out = {kIpmiCompletionOk,
+                                         sdr.sensor_number};
+        // M and B as signed 8.8 fixed point (simplified from 10-bit).
+        const auto m_fx = static_cast<std::int16_t>(sdr.m * 256.0);
+        const auto b_fx = static_cast<std::int16_t>(sdr.b * 256.0);
+        out.push_back(static_cast<std::uint8_t>(m_fx >> 8));
+        out.push_back(static_cast<std::uint8_t>(m_fx & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(b_fx >> 8));
+        out.push_back(static_cast<std::uint8_t>(b_fx & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(sdr.name.size()));
+        out.insert(out.end(), sdr.name.begin(), sdr.name.end());
+        out.push_back(static_cast<std::uint8_t>(sdr.unit.size()));
+        out.insert(out.end(), sdr.unit.begin(), sdr.unit.end());
+        return out;
+    }
+
+    return {kIpmiCompletionInvalidCmd};
+}
+
+std::vector<IpmiSdr> BmcModel::sdr_repository() const {
+    std::scoped_lock lock(mutex_);
+    std::vector<IpmiSdr> out;
+    out.reserve(sensors_.size());
+    for (const auto& s : sensors_) out.push_back(s.sdr);
+    return out;
+}
+
+double BmcModel::value_of(std::uint8_t number) const {
+    std::scoped_lock lock(mutex_);
+    const Sensor* s = find(number);
+    return s ? s->process.value() : 0.0;
+}
+
+}  // namespace dcdb::sim

@@ -1,0 +1,77 @@
+// Simulated baseboard management controller speaking a wire-format
+// subset of IPMI (the out-of-band path of the paper's IPMI plugin).
+//
+// The request/response byte layout follows the IPMI spec's Sensor/Event
+// netfn Get Sensor Reading command: sensors are addressed by number, the
+// response carries a raw byte that the reader converts to a physical
+// value via linear SDR factors (value = M * raw + B). Temperatures,
+// voltages and power are driven by mean-reverting processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcdb::sim {
+
+// IPMI constants (Sensor/Event network function, Get Sensor Reading).
+inline constexpr std::uint8_t kIpmiNetFnSensor = 0x04;
+inline constexpr std::uint8_t kIpmiCmdGetSensorReading = 0x2D;
+inline constexpr std::uint8_t kIpmiCmdGetSdr = 0x23;
+inline constexpr std::uint8_t kIpmiCompletionOk = 0x00;
+inline constexpr std::uint8_t kIpmiCompletionInvalidSensor = 0xCB;
+inline constexpr std::uint8_t kIpmiCompletionInvalidCmd = 0xC1;
+
+/// Linear conversion factors from the sensor's data record.
+struct IpmiSdr {
+    std::uint8_t sensor_number{0};
+    std::string name;
+    std::string unit;
+    double m{1.0};
+    double b{0.0};
+};
+
+class BmcModel {
+  public:
+    explicit BmcModel(std::uint64_t seed = 99);
+
+    /// Register a simulated sensor; `mu`/`sigma` parametrize its process.
+    void add_sensor(std::uint8_t number, const std::string& name,
+                    const std::string& unit, double mu, double sigma,
+                    double m, double b);
+
+    /// Populate the default server sensor set (CPU/board temps, 12V
+    /// rail, PSU power), numbered 1..N.
+    void add_typical_server_sensors();
+
+    /// Process one IPMI request: [netfn, cmd, data...] -> response bytes
+    /// starting with the completion code.
+    std::vector<std::uint8_t> handle(std::span<const std::uint8_t> request);
+
+    /// Advance all sensor processes by `dt_s`.
+    void tick(double dt_s);
+
+    std::vector<IpmiSdr> sdr_repository() const;
+
+    /// Physical value currently reported for a sensor (test oracle).
+    double value_of(std::uint8_t number) const;
+
+  private:
+    struct Sensor {
+        IpmiSdr sdr;
+        OuProcess process;
+    };
+
+    const Sensor* find(std::uint8_t number) const;
+
+    mutable std::mutex mutex_;
+    std::vector<Sensor> sensors_;
+    std::uint64_t seed_;
+};
+
+}  // namespace dcdb::sim

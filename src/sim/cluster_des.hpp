@@ -1,0 +1,67 @@
+// Discrete-event simulation of a monitored cluster running a bulk-
+// synchronous MPI application (the paper's Figure 4 experiment, which we
+// cannot run on 1024 physical nodes).
+//
+// Model: the application executes `steps` iterations; each iteration is
+// compute (per-node, jittered) followed by a global synchronization whose
+// cost is the iteration's communication share. Monitoring perturbs this
+// in two ways, matching the paper's analysis:
+//
+//   1. CPU steal — the Pusher's sampler threads consume a slice of CPU
+//      proportional to sensors/interval and the per-read plugin cost
+//      ("total" config) or almost none ("core"/tester config). Under a
+//      bulk-synchronous app, one slowed node delays everyone, so compute
+//      inflation applies directly.
+//   2. Network interference — an MQTT send that lands inside a node's
+//      communication phase inflates that iteration's sync cost. The
+//      probability that *some* node collides grows with node count,
+//      which is exactly why AMG's overhead grows linearly in Figure 4
+//      while compute-dominated apps stay flat. Burst mode (2 sends per
+//      minute) concentrates the interference; continuous mode spreads it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/apps.hpp"
+
+namespace dcdb::sim {
+
+struct MonitoringConfig {
+    int sensors{0};                 // per-node sensor count (0 = off)
+    double interval_s{1.0};         // sampling interval
+    double per_read_cost_us{2.0};   // plugin read cost per sensor ("total")
+    int sampler_threads{2};
+    int node_cores{48};
+    bool burst_mode{false};         // true: 2 bursts/minute
+    double push_payload_bytes_per_sensor{30.0};
+    bool enabled() const { return sensors > 0; }
+};
+
+struct DesResult {
+    double runtime_s{0};
+    double compute_s{0};
+    double comm_s{0};
+    std::uint64_t net_collisions{0};
+};
+
+class ClusterDes {
+  public:
+    ClusterDes(AppModel app, int nodes, std::uint64_t seed = 42);
+
+    /// Simulate one run under the given monitoring configuration
+    /// (pass a default-constructed config with sensors=0 for the
+    /// unmonitored reference).
+    DesResult run(const MonitoringConfig& monitoring) const;
+
+    /// Convenience: overhead percent of `monitoring` vs the unmonitored
+    /// reference, using the same random seed for paired comparison.
+    double overhead_percent(const MonitoringConfig& monitoring) const;
+
+  private:
+    AppModel app_;
+    int nodes_;
+    std::uint64_t seed_;
+};
+
+}  // namespace dcdb::sim

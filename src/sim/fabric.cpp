@@ -1,0 +1,41 @@
+#include "sim/fabric.hpp"
+
+#include <algorithm>
+
+namespace dcdb::sim {
+
+FabricPortModel::FabricPortModel(const AppModel& app, double peak_bw_gbs,
+                                 std::uint64_t seed)
+    : app_(app), peak_bw_gbs_(peak_bw_gbs), rng_(seed) {}
+
+void FabricPortModel::advance_to(double t_s) {
+    std::scoped_lock lock(mutex_);
+    if (t_s <= t_) return;
+    const double slice = 0.1;
+    while (t_ < t_s) {
+        const double dt = std::min(slice, t_s - t_);
+        // Traffic scales with the app's communication share; AMG's many
+        // small messages mean high packet rate at moderate byte volume.
+        const double util =
+            app_.comm_fraction * (0.7 + 0.3 * rng_.uniform());
+        const double bytes = peak_bw_gbs_ * 1e9 * util * dt;
+        const double avg_pkt =
+            app_.comm_fraction > 0.3 ? 512.0 : 16384.0;  // small vs bulk
+        counters_.xmit_data_bytes += static_cast<std::uint64_t>(bytes);
+        counters_.rcv_data_bytes +=
+            static_cast<std::uint64_t>(bytes * (0.9 + 0.2 * rng_.uniform()));
+        counters_.xmit_packets +=
+            static_cast<std::uint64_t>(bytes / avg_pkt);
+        counters_.rcv_packets +=
+            static_cast<std::uint64_t>(bytes / avg_pkt);
+        if (rng_.uniform() < dt * 1e-3) counters_.link_error_recovery++;
+        t_ += dt;
+    }
+}
+
+PortCounters FabricPortModel::counters() const {
+    std::scoped_lock lock(mutex_);
+    return counters_;
+}
+
+}  // namespace dcdb::sim

@@ -1,0 +1,41 @@
+// Omni-Path fabric port counter model (the paper's OPA plugin source).
+// Monotonic transmit/receive byte and packet counters whose rates follow
+// the running application's communication phases.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.hpp"
+#include "sim/apps.hpp"
+
+namespace dcdb::sim {
+
+struct PortCounters {
+    std::uint64_t xmit_data_bytes{0};
+    std::uint64_t rcv_data_bytes{0};
+    std::uint64_t xmit_packets{0};
+    std::uint64_t rcv_packets{0};
+    std::uint64_t link_error_recovery{0};
+};
+
+class FabricPortModel {
+  public:
+    FabricPortModel(const AppModel& app, double peak_bw_gbs = 12.5,
+                    std::uint64_t seed = 5);
+
+    /// Advance counters to run offset `t_s` (monotone).
+    void advance_to(double t_s);
+
+    PortCounters counters() const;
+
+  private:
+    AppModel app_;
+    double peak_bw_gbs_;
+    mutable std::mutex mutex_;
+    PortCounters counters_;
+    Rng rng_;
+    double t_{0};
+};
+
+}  // namespace dcdb::sim

@@ -1,0 +1,47 @@
+#include "sim/fs_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcdb::sim {
+
+FsStatsModel::FsStatsModel(std::uint64_t seed, double checkpoint_period_s)
+    : rng_(seed), checkpoint_period_s_(checkpoint_period_s) {}
+
+void FsStatsModel::advance_to(double t_s) {
+    std::scoped_lock lock(mutex_);
+    if (t_s <= t_) return;
+    const double slice = 0.25;
+    while (t_ < t_s) {
+        const double dt = std::min(slice, t_s - t_);
+        // Steady metadata + light read traffic.
+        read_bytes_ += 2e6 * dt * (0.5 + rng_.uniform());
+        reads_ += 50 * dt;
+        opens_ += 2 * dt;
+        closes_ += 2 * dt;
+        // Checkpoint burst: first ~10% of every period writes heavily.
+        const double phase = std::fmod(t_, checkpoint_period_s_);
+        if (phase < checkpoint_period_s_ * 0.1) {
+            write_bytes_ += 400e6 * dt * (0.8 + 0.4 * rng_.uniform());
+            writes_ += 3000 * dt;
+        } else {
+            write_bytes_ += 1e6 * dt * rng_.uniform();
+            writes_ += 10 * dt;
+        }
+        t_ += dt;
+    }
+}
+
+FsCounters FsStatsModel::counters() const {
+    std::scoped_lock lock(mutex_);
+    FsCounters c;
+    c.read_bytes = static_cast<std::uint64_t>(read_bytes_);
+    c.write_bytes = static_cast<std::uint64_t>(write_bytes_);
+    c.reads = static_cast<std::uint64_t>(reads_);
+    c.writes = static_cast<std::uint64_t>(writes_);
+    c.opens = static_cast<std::uint64_t>(opens_);
+    c.closes = static_cast<std::uint64_t>(closes_);
+    return c;
+}
+
+}  // namespace dcdb::sim

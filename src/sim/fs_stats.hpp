@@ -1,0 +1,40 @@
+// Parallel-filesystem I/O statistics model (the paper's GPFS plugin
+// source): cumulative read/write bytes and operation counts, with bursty
+// checkpoint-style write phases layered over steady metadata traffic.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.hpp"
+
+namespace dcdb::sim {
+
+struct FsCounters {
+    std::uint64_t read_bytes{0};
+    std::uint64_t write_bytes{0};
+    std::uint64_t reads{0};
+    std::uint64_t writes{0};
+    std::uint64_t opens{0};
+    std::uint64_t closes{0};
+};
+
+class FsStatsModel {
+  public:
+    explicit FsStatsModel(std::uint64_t seed = 17,
+                          double checkpoint_period_s = 60.0);
+
+    void advance_to(double t_s);
+    FsCounters counters() const;
+
+  private:
+    mutable std::mutex mutex_;
+    // Accumulate fractionally; snapshot truncates to integers.
+    double read_bytes_{0}, write_bytes_{0}, reads_{0}, writes_{0},
+        opens_{0}, closes_{0};
+    Rng rng_;
+    double checkpoint_period_s_;
+    double t_{0};
+};
+
+}  // namespace dcdb::sim

@@ -1,0 +1,65 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+
+namespace dcdb::sim {
+
+namespace {
+constexpr double kIdlePowerW = 55.0;
+constexpr double kPeakPowerW = 400.0;
+constexpr double kIdleTempC = 32.0;
+constexpr double kPeakTempC = 82.0;
+constexpr double kBaseClockMhz = 1095.0;
+constexpr double kBoostClockMhz = 1755.0;
+}  // namespace
+
+GpuDeviceModel::GpuDeviceModel(int devices, std::uint64_t seed,
+                               double memory_total_mb)
+    : memory_total_mb_(memory_total_mb), rng_(seed) {
+    devices = std::max(devices, 1);
+    samples_.resize(static_cast<std::size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+        util_.emplace_back(70.0, 0.4, 18.0, seed + 2u * d);
+        memory_.emplace_back(0.6 * memory_total_mb, 0.1,
+                             0.05 * memory_total_mb, seed + 2u * d + 1);
+    }
+    advance_to(0.0);
+}
+
+void GpuDeviceModel::advance_to(double t_s) {
+    std::scoped_lock lock(mutex_);
+    const double dt = std::max(1e-3, t_s - t_);
+    t_ = t_s;
+    for (std::size_t d = 0; d < samples_.size(); ++d) {
+        const double util = std::clamp(util_[d].step(dt), 0.0, 100.0);
+        const double mem =
+            std::clamp(memory_[d].step(dt), 0.0, memory_total_mb_);
+        GpuSample& s = samples_[d];
+        s.utilization_pct = util;
+        s.memory_used_mb = mem;
+        s.power_w = kIdlePowerW +
+                    (kPeakPowerW - kIdlePowerW) * util / 100.0 +
+                    rng_.gaussian(0.0, 3.0);
+        // Temperature lags power; simple first-order relaxation.
+        const double target_temp =
+            kIdleTempC + (kPeakTempC - kIdleTempC) * util / 100.0;
+        s.temperature_c += (target_temp - s.temperature_c) *
+                           std::min(1.0, dt / 20.0);
+        // Clock throttles when hot.
+        const double throttle =
+            s.temperature_c > 78.0
+                ? 1.0 - 0.02 * (s.temperature_c - 78.0)
+                : 1.0;
+        s.sm_clock_mhz =
+            (kBaseClockMhz +
+             (kBoostClockMhz - kBaseClockMhz) * util / 100.0) *
+            std::clamp(throttle, 0.7, 1.0);
+    }
+}
+
+GpuSample GpuDeviceModel::sample(int device) const {
+    std::scoped_lock lock(mutex_);
+    return samples_.at(static_cast<std::size_t>(device));
+}
+
+}  // namespace dcdb::sim

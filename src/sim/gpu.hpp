@@ -1,0 +1,48 @@
+// GPU device model (NVML-style): utilization, memory occupancy, power,
+// temperature and SM clock per device. The paper lists GPU sensors as
+// planned future work ("develop further plugins in order to support a
+// broader range of sensors and performance events, such as those
+// deriving from GPU usage"); this model backs the gpu plugin that
+// implements it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcdb::sim {
+
+struct GpuSample {
+    double utilization_pct{0};
+    double memory_used_mb{0};
+    double power_w{0};
+    double temperature_c{0};
+    double sm_clock_mhz{0};
+};
+
+class GpuDeviceModel {
+  public:
+    /// `devices`: number of GPUs on the node; kernel-burst behavior is
+    /// modelled per device with mean-reverting processes.
+    GpuDeviceModel(int devices, std::uint64_t seed = 31,
+                   double memory_total_mb = 40960.0);
+
+    void advance_to(double t_s);
+
+    GpuSample sample(int device) const;
+    int device_count() const { return static_cast<int>(util_.size()); }
+    double memory_total_mb() const { return memory_total_mb_; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<OuProcess> util_;
+    std::vector<OuProcess> memory_;
+    std::vector<GpuSample> samples_;
+    double memory_total_mb_;
+    double t_{0};
+    Rng rng_;
+};
+
+}  // namespace dcdb::sim

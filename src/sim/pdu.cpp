@@ -1,0 +1,45 @@
+#include "sim/pdu.hpp"
+
+#include <algorithm>
+
+namespace dcdb::sim {
+
+PduModel::PduModel(int outlets, double mean_outlet_w, std::uint64_t seed) {
+    outlets = std::max(outlets, 1);
+    power_w_.assign(static_cast<std::size_t>(outlets), mean_outlet_w);
+    for (int i = 0; i < outlets; ++i)
+        processes_.emplace_back(mean_outlet_w, 0.5, mean_outlet_w * 0.03,
+                                seed + static_cast<unsigned>(i));
+}
+
+void PduModel::advance_to(double t_s) {
+    std::scoped_lock lock(mutex_);
+    if (t_s <= t_) return;
+    const double dt = t_s - t_;
+    t_ = t_s;
+    double total = 0;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        power_w_[i] = std::max(0.0, processes_[i].step(dt));
+        total += power_w_[i];
+    }
+    energy_wh_ += total * dt / 3600.0;
+}
+
+double PduModel::outlet_power_w(int outlet) const {
+    std::scoped_lock lock(mutex_);
+    return power_w_.at(static_cast<std::size_t>(outlet));
+}
+
+double PduModel::total_power_w() const {
+    std::scoped_lock lock(mutex_);
+    double total = 0;
+    for (const double p : power_w_) total += p;
+    return total;
+}
+
+double PduModel::energy_wh() const {
+    std::scoped_lock lock(mutex_);
+    return energy_wh_;
+}
+
+}  // namespace dcdb::sim

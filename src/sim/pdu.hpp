@@ -1,0 +1,35 @@
+// Power distribution unit model: per-outlet power draw plus a cumulative
+// energy meter (the classic "energy meter of a PDU" sensor from the
+// paper's Section 3.2), exposed to the SNMP plugin via OID callbacks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace dcdb::sim {
+
+class PduModel {
+  public:
+    PduModel(int outlets, double mean_outlet_w, std::uint64_t seed = 23);
+
+    void advance_to(double t_s);
+
+    double outlet_power_w(int outlet) const;
+    double total_power_w() const;
+    /// Cumulative energy in watt-hours (monotonic).
+    double energy_wh() const;
+
+    int outlets() const { return static_cast<int>(processes_.size()); }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<OuProcess> processes_;
+    std::vector<double> power_w_;
+    double energy_wh_{0};
+    double t_{0};
+};
+
+}  // namespace dcdb::sim

@@ -1,0 +1,29 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcdb::sim {
+
+NodePowerModel::NodePowerModel(const ArchModel& arch, AppModel app,
+                               std::uint64_t seed)
+    : app_(std::move(app)),
+      // Rough per-node envelopes for the three systems: dual-socket
+      // Skylake ~ 205W TDP each, Haswell ~ 145W each, KNL ~ 215W, plus
+      // memory/board baseline.
+      idle_w_(60.0 + 10.0 * arch.sockets),
+      peak_w_(arch.name == "skylake"  ? 520.0
+              : arch.name == "haswell" ? 380.0
+                                       : 345.0),
+      noise_(0.0, /*theta=*/1.5, /*sigma=*/4.0, seed) {}
+
+double NodePowerModel::power_w(double t_s) {
+    const AppPhase& phase = app_.phase_at(t_s);
+    const double dt = std::max(1e-3, t_s - last_t_);
+    last_t_ = t_s;
+    const double base =
+        idle_w_ + (peak_w_ - idle_w_) * phase.activity;
+    return std::max(idle_w_ * 0.8, base + noise_.step(dt));
+}
+
+}  // namespace dcdb::sim

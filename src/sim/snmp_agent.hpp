@@ -1,0 +1,86 @@
+// SNMPv2c agent simulator and client, with a from-scratch BER codec.
+//
+// The paper's out-of-band case study collects facility data via the
+// Pusher's SNMP plugin. This module provides both halves over real UDP
+// datagrams on localhost: an agent exposing an OID registry (backed by
+// the device models) and a blocking GET client used by the plugin. The
+// wire format is genuine BER: SEQUENCE { version, community, GetRequest-
+// PDU { request-id, error-status, error-index, varbind list } }.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace dcdb::sim {
+
+/// Object identifier as its numeric arcs (e.g. {1,3,6,1,4,1,...}).
+using Oid = std::vector<std::uint32_t>;
+
+Oid parse_oid(const std::string& dotted);  // "1.3.6.1.4.1.1000.1"
+std::string oid_to_string(const Oid& oid);
+
+struct SnmpVarBind {
+    Oid oid;
+    std::int64_t value{0};
+    bool is_null{true};  // request varbinds carry NULL
+};
+
+struct SnmpMessage {
+    std::int64_t version{1};  // 1 = SNMPv2c
+    std::string community{"public"};
+    std::uint8_t pdu_type{0xA0};  // 0xA0 GetRequest, 0xA2 Response
+    std::int64_t request_id{0};
+    std::int64_t error_status{0};
+    std::int64_t error_index{0};
+    std::vector<SnmpVarBind> varbinds;
+};
+
+/// BER encode/decode; decode throws ProtocolError on malformed input.
+std::vector<std::uint8_t> snmp_encode(const SnmpMessage& msg);
+SnmpMessage snmp_decode(std::span<const std::uint8_t> data);
+
+/// UDP agent serving GET requests from a registry of value callbacks.
+class SnmpAgentSim {
+  public:
+    explicit SnmpAgentSim(std::string community = "public");
+    ~SnmpAgentSim();
+
+    SnmpAgentSim(const SnmpAgentSim&) = delete;
+    SnmpAgentSim& operator=(const SnmpAgentSim&) = delete;
+
+    void register_oid(const std::string& dotted,
+                      std::function<std::int64_t()> getter);
+
+    std::uint16_t port() const { return socket_.port(); }
+    std::uint64_t requests_served() const { return served_.load(); }
+
+    void stop();
+
+  private:
+    void serve_loop();
+
+    std::string community_;
+    UdpSocket socket_;
+    std::mutex mutex_;
+    std::map<Oid, std::function<std::int64_t()>> registry_;
+    std::thread thread_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> served_{0};
+};
+
+/// Blocking GET: returns the value for each OID (in request order), or
+/// nullopt on timeout / SNMP error.
+std::optional<std::vector<std::int64_t>> snmp_get(
+    std::uint16_t agent_port, const std::string& community,
+    const std::vector<std::string>& oids, int timeout_ms = 1000);
+
+}  // namespace dcdb::sim

@@ -1,0 +1,47 @@
+#include "store/bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "store/murmur.hpp"
+
+namespace dcdb::store {
+
+BloomFilter::BloomFilter(std::size_t expected_items, double fp_rate) {
+    expected_items = std::max<std::size_t>(expected_items, 1);
+    const double ln2 = std::log(2.0);
+    const double m =
+        -static_cast<double>(expected_items) * std::log(fp_rate) / (ln2 * ln2);
+    const std::size_t nbits = std::max<std::size_t>(64, static_cast<std::size_t>(m));
+    bits_.assign((nbits + 63) / 64, 0);
+    hashes_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::round(
+               m / static_cast<double>(expected_items) * ln2)));
+}
+
+BloomFilter::BloomFilter(std::vector<std::uint64_t> bits, std::uint32_t hashes)
+    : bits_(std::move(bits)), hashes_(std::max<std::uint32_t>(hashes, 1)) {
+    if (bits_.empty()) bits_.assign(1, 0);
+}
+
+void BloomFilter::insert(std::span<const std::uint8_t> key) {
+    // Double hashing (Kirsch-Mitzenmacher): g_i = h1 + i*h2.
+    const auto [h1, h2] = murmur3_x64_128(key);
+    const std::size_t nbits = bits_.size() * 64;
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+        const std::size_t bit = (h1 + i * h2) % nbits;
+        bits_[bit / 64] |= 1ull << (bit % 64);
+    }
+}
+
+bool BloomFilter::may_contain(std::span<const std::uint8_t> key) const {
+    const auto [h1, h2] = murmur3_x64_128(key);
+    const std::size_t nbits = bits_.size() * 64;
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+        const std::size_t bit = (h1 + i * h2) % nbits;
+        if (!(bits_[bit / 64] & (1ull << (bit % 64)))) return false;
+    }
+    return true;
+}
+
+}  // namespace dcdb::store

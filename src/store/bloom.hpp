@@ -1,0 +1,31 @@
+// Bloom filter for SSTable negative lookups (as in Cassandra, one filter
+// per SSTable keeps point queries from touching files that cannot contain
+// the partition).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dcdb::store {
+
+class BloomFilter {
+  public:
+    /// Size for `expected_items` at roughly the given false-positive rate.
+    BloomFilter(std::size_t expected_items, double fp_rate = 0.01);
+
+    /// Reconstruct from serialized state.
+    BloomFilter(std::vector<std::uint64_t> bits, std::uint32_t hashes);
+
+    void insert(std::span<const std::uint8_t> key);
+    bool may_contain(std::span<const std::uint8_t> key) const;
+
+    const std::vector<std::uint64_t>& bits() const { return bits_; }
+    std::uint32_t hash_count() const { return hashes_; }
+
+  private:
+    std::vector<std::uint64_t> bits_;
+    std::uint32_t hashes_;
+};
+
+}  // namespace dcdb::store

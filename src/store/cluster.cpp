@@ -1,0 +1,73 @@
+#include "store/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace dcdb::store {
+
+StoreCluster::StoreCluster(ClusterConfig config) : config_(std::move(config)) {
+    if (config_.nodes == 0) throw StoreError("cluster needs >= 1 node");
+    if (config_.replication == 0 || config_.replication > config_.nodes)
+        throw StoreError("replication must be in [1, nodes]");
+    partitioner_ = make_partitioner(config_.partitioner);
+    nodes_.reserve(config_.nodes);
+    for (std::size_t i = 0; i < config_.nodes; ++i) {
+        NodeConfig nc;
+        nc.data_dir = config_.base_dir + "/node" + std::to_string(i);
+        nc.memtable_flush_bytes = config_.memtable_flush_bytes;
+        nc.commitlog_enabled = config_.commitlog_enabled;
+        nodes_.push_back(std::make_unique<StorageNode>(std::move(nc)));
+    }
+}
+
+std::size_t StoreCluster::primary_node(const Key& key) const {
+    return partitioner_->node_for(key, nodes_.size());
+}
+
+void StoreCluster::insert(const Key& key, TimestampNs ts, Value value,
+                          std::uint32_t ttl_s, int local_hint) {
+    const std::size_t primary = primary_node(key);
+    for (std::size_t r = 0; r < config_.replication; ++r) {
+        nodes_[(primary + r) % nodes_.size()]->insert(key, ts, value, ttl_s);
+    }
+    total_writes_.fetch_add(1, std::memory_order_relaxed);
+    if (local_hint >= 0 && static_cast<std::size_t>(local_hint) == primary)
+        local_writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Row> StoreCluster::query(const Key& key, TimestampNs t0,
+                                     TimestampNs t1) const {
+    return nodes_[primary_node(key)]->query(key, t0, t1);
+}
+
+std::vector<Row> StoreCluster::query_replica(std::size_t replica_index,
+                                             const Key& key, TimestampNs t0,
+                                             TimestampNs t1) const {
+    if (replica_index >= config_.replication)
+        throw StoreError("replica index out of range");
+    const std::size_t node =
+        (primary_node(key) + replica_index) % nodes_.size();
+    return nodes_[node]->query(key, t0, t1);
+}
+
+void StoreCluster::flush_all() {
+    for (auto& node : nodes_) node->flush();
+}
+
+void StoreCluster::compact_all() {
+    for (auto& node : nodes_) node->compact();
+}
+
+void StoreCluster::truncate_before(TimestampNs cutoff) {
+    for (auto& node : nodes_) node->truncate_before(cutoff);
+}
+
+ClusterStats StoreCluster::stats() const {
+    ClusterStats s;
+    s.per_node.reserve(nodes_.size());
+    for (const auto& node : nodes_) s.per_node.push_back(node->stats());
+    s.local_writes = local_writes_.load();
+    s.total_writes = total_writes_.load();
+    return s;
+}
+
+}  // namespace dcdb::store

@@ -1,0 +1,79 @@
+// Multi-node store cluster: partitioned, optionally replicated.
+//
+// Stands in for the distributed Cassandra deployment of paper Section
+// 4.3: any node can be asked to insert or query, data is distributed via
+// a pluggable partitioner, and the hierarchy partitioner gives DCDB its
+// "store on the nearest server" locality. Replication writes each
+// partition to `replication` consecutive nodes (Cassandra's
+// SimpleStrategy ring walk).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/node.hpp"
+#include "store/partitioner.hpp"
+
+namespace dcdb::store {
+
+struct ClusterConfig {
+    std::string base_dir;
+    std::size_t nodes{1};
+    std::size_t replication{1};
+    std::string partitioner{"hierarchy"};
+    std::size_t memtable_flush_bytes{8u << 20};
+    bool commitlog_enabled{true};
+};
+
+struct ClusterStats {
+    std::vector<NodeStats> per_node;
+    /// Inserts answered by the node the writer suggested as "nearest"
+    /// (see insert()'s `local_hint`), i.e. writes that needed no network
+    /// hop in a colocated deployment.
+    std::uint64_t local_writes{0};
+    std::uint64_t total_writes{0};
+};
+
+class StoreCluster {
+  public:
+    explicit StoreCluster(ClusterConfig config);
+
+    std::size_t node_count() const { return nodes_.size(); }
+    std::size_t replication() const { return config_.replication; }
+    const Partitioner& partitioner() const { return *partitioner_; }
+
+    /// Primary owner of a key.
+    std::size_t primary_node(const Key& key) const;
+
+    /// Insert into the primary and its replicas. `local_hint`, when >= 0,
+    /// is the index of the node colocated with the writer; used only for
+    /// locality accounting (the paper's "nearest server" claim).
+    void insert(const Key& key, TimestampNs ts, Value value,
+                std::uint32_t ttl_s = 0, int local_hint = -1);
+
+    /// Query the primary replica.
+    std::vector<Row> query(const Key& key, TimestampNs t0,
+                           TimestampNs t1) const;
+
+    /// Query a specific replica (for replication tests / failure drills).
+    std::vector<Row> query_replica(std::size_t replica_index, const Key& key,
+                                   TimestampNs t0, TimestampNs t1) const;
+
+    void flush_all();
+    void compact_all();
+    void truncate_before(TimestampNs cutoff);
+
+    StorageNode& node(std::size_t i) { return *nodes_.at(i); }
+    ClusterStats stats() const;
+
+  private:
+    ClusterConfig config_;
+    std::unique_ptr<Partitioner> partitioner_;
+    std::vector<std::unique_ptr<StorageNode>> nodes_;
+    std::atomic<std::uint64_t> local_writes_{0};
+    std::atomic<std::uint64_t> total_writes_{0};
+};
+
+}  // namespace dcdb::store

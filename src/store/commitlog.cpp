@@ -1,0 +1,87 @@
+#include "store/commitlog.hpp"
+
+#include <vector>
+
+#include "common/bytebuf.hpp"
+#include "common/error.hpp"
+#include "store/murmur.hpp"
+
+namespace dcdb::store {
+
+namespace {
+
+// Record: key(20) + ts(8) + value(8) + expiry(4) + crc(4)
+constexpr std::size_t kRecordBytes = Key::kBytes + 8 + 8 + 4 + 4;
+
+std::uint32_t record_crc(std::span<const std::uint8_t> body) {
+    return static_cast<std::uint32_t>(murmur3_token(body));
+}
+
+}  // namespace
+
+CommitLog::CommitLog(std::string path) : path_(std::move(path)) {
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (!file_) throw StoreError("cannot open commit log " + path_);
+}
+
+CommitLog::~CommitLog() {
+    if (file_) std::fclose(file_);
+}
+
+void CommitLog::append(const Key& key, const Row& row) {
+    ByteWriter w(kRecordBytes);
+    std::uint8_t kb[Key::kBytes];
+    key.serialize(kb);
+    w.bytes(kb, sizeof kb);
+    w.u64be(row.ts);
+    w.i64be(row.value);
+    w.u32be(row.expiry_s);
+    w.u32be(record_crc(w.data()));
+
+    std::scoped_lock lock(mutex_);
+    if (std::fwrite(w.data().data(), 1, w.size(), file_) != w.size())
+        throw StoreError("commit log append failed: " + path_);
+    ++records_;
+}
+
+void CommitLog::sync() {
+    std::scoped_lock lock(mutex_);
+    std::fflush(file_);
+}
+
+void CommitLog::reset() {
+    std::scoped_lock lock(mutex_);
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_) throw StoreError("cannot truncate commit log " + path_);
+    records_ = 0;
+}
+
+std::uint64_t CommitLog::replay(
+    const std::string& path,
+    const std::function<void(const Key&, const Row&)>& apply) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return 0;  // no log, nothing to recover
+
+    std::uint64_t recovered = 0;
+    std::vector<std::uint8_t> rec(kRecordBytes);
+    while (std::fread(rec.data(), 1, rec.size(), f) == rec.size()) {
+        ByteReader r(rec);
+        const auto body =
+            std::span<const std::uint8_t>(rec.data(), kRecordBytes - 4);
+        const auto kb = r.bytes(Key::kBytes);
+        const Key key = Key::deserialize(kb.data());
+        Row row;
+        row.ts = r.u64be();
+        row.value = r.i64be();
+        row.expiry_s = r.u32be();
+        const std::uint32_t crc = r.u32be();
+        if (crc != record_crc(body)) break;  // corrupt tail: stop replay
+        apply(key, row);
+        ++recovered;
+    }
+    std::fclose(f);
+    return recovered;
+}
+
+}  // namespace dcdb::store

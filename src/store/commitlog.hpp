@@ -1,0 +1,51 @@
+// Append-only commit log for durability between memtable flushes
+// (Cassandra's commit-log role). Each record carries a checksum; replay
+// stops at the first corrupt or truncated record, recovering everything
+// durably appended before a crash.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "store/key.hpp"
+#include "store/row.hpp"
+
+namespace dcdb::store {
+
+class CommitLog {
+  public:
+    /// Open (creating if needed) the log at `path` for appending.
+    explicit CommitLog(std::string path);
+    ~CommitLog();
+
+    CommitLog(const CommitLog&) = delete;
+    CommitLog& operator=(const CommitLog&) = delete;
+
+    void append(const Key& key, const Row& row);
+
+    /// Flush buffered writes to the OS (not fsync; matches Cassandra's
+    /// default periodic-commitlog-sync durability level).
+    void sync();
+
+    /// Truncate after a successful memtable flush.
+    void reset();
+
+    const std::string& path() const { return path_; }
+    std::uint64_t records_appended() const { return records_; }
+
+    /// Replay a log file in append order; invoked for each intact record.
+    /// Returns the number of records recovered.
+    static std::uint64_t replay(
+        const std::string& path,
+        const std::function<void(const Key&, const Row&)>& apply);
+
+  private:
+    std::string path_;
+    std::FILE* file_{nullptr};
+    std::mutex mutex_;
+    std::uint64_t records_{0};
+};
+
+}  // namespace dcdb::store

@@ -1,0 +1,42 @@
+// In-memory write buffer, one per storage node (Cassandra memtable).
+//
+// Writes land here first (after the commit log) and are served from here
+// until a flush turns the memtable into an immutable SSTable. Rows within
+// a partition are kept sorted by clustering timestamp; monitoring data
+// arrives nearly in order, so insertion is amortized O(1) by appending
+// and only sorting the (rare) out-of-order tail.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "store/key.hpp"
+#include "store/row.hpp"
+
+namespace dcdb::store {
+
+class Memtable {
+  public:
+    void insert(const Key& key, const Row& row);
+
+    /// Rows in [t0, t1] for `key`, appended to `out` in timestamp order.
+    void query(const Key& key, TimestampNs t0, TimestampNs t1,
+               std::vector<Row>& out) const;
+
+    /// Sorted contents, consumed by the SSTable writer.
+    const std::map<Key, std::vector<Row>>& partitions() const {
+        return partitions_;
+    }
+
+    std::size_t approx_bytes() const { return approx_bytes_; }
+    std::size_t row_count() const { return row_count_; }
+    bool empty() const { return partitions_.empty(); }
+    void clear();
+
+  private:
+    std::map<Key, std::vector<Row>> partitions_;
+    std::size_t approx_bytes_{0};
+    std::size_t row_count_{0};
+};
+
+}  // namespace dcdb::store

@@ -1,0 +1,53 @@
+// Persistent key-value metadata table.
+//
+// Plays the role of DCDB's auxiliary Cassandra column families: the
+// topic-to-SID dictionary, published sensor metadata (units, scales,
+// intervals) and virtual sensor definitions all live here. Implemented
+// as an append-only log of (key, value) records compacted on load; a
+// deletion is an empty-value tombstone.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcdb::store {
+
+class MetaStore {
+  public:
+    /// Open (creating if needed) the backing log at `path`; pass an empty
+    /// path for a purely in-memory store.
+    explicit MetaStore(std::string path = "");
+    ~MetaStore();
+
+    MetaStore(const MetaStore&) = delete;
+    MetaStore& operator=(const MetaStore&) = delete;
+
+    void put(const std::string& key, const std::string& value);
+    std::optional<std::string> get(const std::string& key) const;
+    void erase(const std::string& key);
+    bool contains(const std::string& key) const;
+
+    /// All (key, value) pairs whose key starts with `prefix`, sorted.
+    std::vector<std::pair<std::string, std::string>> scan_prefix(
+        const std::string& prefix) const;
+
+    std::size_t size() const;
+
+    /// Rewrite the log with only live entries.
+    void compact();
+
+  private:
+    void append_record(const std::string& key, const std::string& value,
+                       bool tombstone);
+
+    std::string path_;
+    std::FILE* file_{nullptr};
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace dcdb::store

@@ -1,0 +1,198 @@
+#include "store/node.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+
+namespace dcdb::store {
+
+namespace fs = std::filesystem;
+
+StorageNode::StorageNode(NodeConfig config) : config_(std::move(config)) {
+    if (config_.data_dir.empty()) throw StoreError("data_dir required");
+    fs::create_directories(config_.data_dir);
+
+    // Open existing SSTables in generation order.
+    std::vector<std::pair<std::uint64_t, std::string>> found;
+    for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (starts_with(name, "sstable-") && ends_with(name, ".db")) {
+            const auto gen = parse_u64(name.substr(8, name.size() - 11));
+            if (gen) found.emplace_back(*gen, entry.path().string());
+        }
+    }
+    std::sort(found.begin(), found.end());
+    for (const auto& [gen, path] : found) {
+        try {
+            sstables_.push_back(SsTable::open(path));
+        } catch (const StoreError& e) {
+            // A torn write (crash during flush/compaction) must not take
+            // the whole node down: quarantine the file and carry on.
+            DCDB_WARN("store") << "quarantining corrupt sstable " << path
+                               << ": " << e.what();
+            std::error_code ec;
+            fs::rename(path, path + ".corrupt", ec);
+        }
+        next_generation_ = std::max(next_generation_, gen + 1);
+    }
+
+    // Recover writes that never made it into an SSTable.
+    const std::string log_path = config_.data_dir + "/commit.log";
+    const std::uint64_t recovered =
+        CommitLog::replay(log_path, [this](const Key& key, const Row& row) {
+            memtable_.insert(key, row);
+        });
+    (void)recovered;
+    if (config_.commitlog_enabled)
+        commitlog_ = std::make_unique<CommitLog>(log_path);
+}
+
+std::string StorageNode::sstable_path(std::uint64_t generation) const {
+    return config_.data_dir + "/sstable-" + std::to_string(generation) + ".db";
+}
+
+void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
+                         std::uint32_t ttl_s) {
+    Row row;
+    row.ts = ts;
+    row.value = value;
+    row.expiry_s =
+        ttl_s == 0
+            ? 0
+            : static_cast<std::uint32_t>(ts / kNsPerSec + ttl_s);
+
+    std::unique_lock lock(mutex_);
+    if (commitlog_) commitlog_->append(key, row);
+    memtable_.insert(key, row);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
+        flush_locked();
+}
+
+std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
+                                    TimestampNs t1) const {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock lock(mutex_);
+
+    // Merge in generation order so later writes shadow earlier ones; the
+    // memtable is newest of all.
+    std::map<TimestampNs, Row> merged;
+    std::vector<Row> rows;
+    for (const auto& table : sstables_) {
+        rows.clear();
+        table->query(key, t0, t1, rows);
+        for (const auto& row : rows) merged[row.ts] = row;
+    }
+    rows.clear();
+    memtable_.query(key, t0, t1, rows);
+    for (const auto& row : rows) merged[row.ts] = row;
+
+    const TimestampNs now = now_ns();
+    std::vector<Row> out;
+    out.reserve(merged.size());
+    for (const auto& [ts, row] : merged) {
+        if (!row.expired(now)) out.push_back(row);
+    }
+    return out;
+}
+
+void StorageNode::flush() {
+    std::unique_lock lock(mutex_);
+    flush_locked();
+}
+
+void StorageNode::flush_locked() {
+    if (memtable_.empty()) return;
+    const std::uint64_t gen = next_generation_++;
+    sstables_.push_back(
+        SsTable::write(sstable_path(gen), gen, memtable_.partitions()));
+    memtable_.clear();
+    if (commitlog_) commitlog_->reset();
+    ++flushes_;
+}
+
+void StorageNode::compact() {
+    std::unique_lock lock(mutex_);
+    flush_locked();
+    if (sstables_.size() <= 1 && flushes_ == 0) return;
+
+    // Gather the union of keys, then merge newest-wins per timestamp.
+    std::map<Key, std::vector<Row>> merged;
+    const TimestampNs now = now_ns();
+    for (const auto& table : sstables_) {  // ascending generation
+        for (const auto& key : table->keys()) {
+            auto& dst = merged[key];
+            std::map<TimestampNs, Row> by_ts;
+            for (auto& row : dst) by_ts[row.ts] = row;
+            for (const auto& row : table->read_partition(key))
+                by_ts[row.ts] = row;  // later generation shadows
+            dst.clear();
+            for (const auto& [ts, row] : by_ts) {
+                if (!row.expired(now)) dst.push_back(row);
+            }
+        }
+    }
+    std::erase_if(merged, [](const auto& kv) { return kv.second.empty(); });
+
+    std::vector<std::string> old_paths;
+    old_paths.reserve(sstables_.size());
+    for (const auto& table : sstables_) old_paths.push_back(table->path());
+    sstables_.clear();
+
+    if (!merged.empty()) {
+        const std::uint64_t gen = next_generation_++;
+        sstables_.push_back(SsTable::write(sstable_path(gen), gen, merged));
+    }
+    for (const auto& path : old_paths) fs::remove(path);
+    ++compactions_;
+}
+
+void StorageNode::truncate_before(TimestampNs cutoff) {
+    std::unique_lock lock(mutex_);
+    flush_locked();
+    std::map<Key, std::vector<Row>> kept;
+    const TimestampNs now = now_ns();
+    for (const auto& table : sstables_) {
+        for (const auto& key : table->keys()) {
+            auto& dst = kept[key];
+            std::map<TimestampNs, Row> by_ts;
+            for (auto& row : dst) by_ts[row.ts] = row;
+            for (const auto& row : table->read_partition(key))
+                by_ts[row.ts] = row;
+            dst.clear();
+            for (const auto& [ts, row] : by_ts) {
+                if (ts >= cutoff && !row.expired(now)) dst.push_back(row);
+            }
+        }
+    }
+    std::erase_if(kept, [](const auto& kv) { return kv.second.empty(); });
+
+    std::vector<std::string> old_paths;
+    for (const auto& table : sstables_) old_paths.push_back(table->path());
+    sstables_.clear();
+    if (!kept.empty()) {
+        const std::uint64_t gen = next_generation_++;
+        sstables_.push_back(SsTable::write(sstable_path(gen), gen, kept));
+    }
+    for (const auto& path : old_paths) fs::remove(path);
+}
+
+NodeStats StorageNode::stats() const {
+    std::shared_lock lock(mutex_);
+    NodeStats s;
+    s.writes = writes_.load();
+    s.reads = reads_.load();
+    s.flushes = flushes_;
+    s.compactions = compactions_;
+    s.sstables = sstables_.size();
+    s.memtable_rows = memtable_.row_count();
+    for (const auto& table : sstables_) s.disk_bytes += table->file_bytes();
+    return s;
+}
+
+}  // namespace dcdb::store

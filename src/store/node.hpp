@@ -1,0 +1,81 @@
+// Single storage server: commit log + memtable + SSTables (the Cassandra
+// storage engine path, scoped to what DCDB's workload exercises).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "store/commitlog.hpp"
+#include "store/memtable.hpp"
+#include "store/sstable.hpp"
+
+namespace dcdb::store {
+
+struct NodeConfig {
+    std::string data_dir;
+    std::size_t memtable_flush_bytes{8u << 20};
+    bool commitlog_enabled{true};
+};
+
+struct NodeStats {
+    std::uint64_t writes{0};
+    std::uint64_t reads{0};
+    std::uint64_t flushes{0};
+    std::uint64_t compactions{0};
+    std::size_t sstables{0};
+    std::size_t memtable_rows{0};
+    std::uint64_t disk_bytes{0};
+};
+
+class StorageNode {
+  public:
+    /// Opens existing SSTables in `data_dir` and replays the commit log.
+    explicit StorageNode(NodeConfig config);
+
+    StorageNode(const StorageNode&) = delete;
+    StorageNode& operator=(const StorageNode&) = delete;
+
+    /// Insert one reading; `ttl_s` 0 means no expiry. Triggers a memtable
+    /// flush when the configured threshold is crossed.
+    void insert(const Key& key, TimestampNs ts, Value value,
+                std::uint32_t ttl_s = 0);
+
+    /// Merged view over memtable and SSTables, newest write wins per
+    /// timestamp; expired rows are filtered. Results sorted by timestamp.
+    std::vector<Row> query(const Key& key, TimestampNs t0,
+                           TimestampNs t1) const;
+
+    /// Force the memtable to disk.
+    void flush();
+
+    /// Merge all SSTables into one, dropping expired and shadowed rows
+    /// (the `config` tool's "compact" maintenance command drives this).
+    void compact();
+
+    /// Drop all rows with ts < cutoff across the node (the `config`
+    /// tool's "delete old data" command).
+    void truncate_before(TimestampNs cutoff);
+
+    NodeStats stats() const;
+
+  private:
+    void flush_locked();
+    std::string sstable_path(std::uint64_t generation) const;
+
+    NodeConfig config_;
+    mutable std::shared_mutex mutex_;
+    Memtable memtable_;
+    std::unique_ptr<CommitLog> commitlog_;
+    std::vector<std::unique_ptr<SsTable>> sstables_;  // ascending generation
+    std::uint64_t next_generation_{1};
+    mutable std::atomic<std::uint64_t> writes_{0};
+    mutable std::atomic<std::uint64_t> reads_{0};
+    std::uint64_t flushes_{0};
+    std::uint64_t compactions_{0};
+};
+
+}  // namespace dcdb::store

@@ -1,0 +1,36 @@
+#include "store/partitioner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "store/murmur.hpp"
+
+namespace dcdb::store {
+
+std::size_t Murmur3Partitioner::node_for(const Key& key,
+                                         std::size_t node_count) const {
+    if (node_count == 0) throw StoreError("empty cluster");
+    std::uint8_t buf[Key::kBytes];
+    key.serialize(buf);
+    return static_cast<std::size_t>(murmur3_token(buf) % node_count);
+}
+
+HierarchyPartitioner::HierarchyPartitioner(std::size_t prefix_bytes)
+    : prefix_bytes_(std::clamp<std::size_t>(prefix_bytes, 1, 16)) {}
+
+std::size_t HierarchyPartitioner::node_for(const Key& key,
+                                           std::size_t node_count) const {
+    if (node_count == 0) throw StoreError("empty cluster");
+    // Hash only the sub-tree prefix: all keys sharing the prefix map to
+    // the same node regardless of deeper levels or time bucket.
+    return static_cast<std::size_t>(
+        murmur3_token({key.sid.data(), prefix_bytes_}) % node_count);
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+    if (name == "murmur3") return std::make_unique<Murmur3Partitioner>();
+    if (name == "hierarchy") return std::make_unique<HierarchyPartitioner>();
+    throw StoreError("unknown partitioner: " + name);
+}
+
+}  // namespace dcdb::store

@@ -1,0 +1,61 @@
+// Data-distribution strategies for the store cluster.
+//
+// Cassandra distributes partitions across servers via a partitioning
+// algorithm over the partition key. DCDB "exploits this feature by
+// leveraging the hierarchical SIDs as partition keys ... using a
+// partitioning algorithm that maps a sub-tree in the sensor hierarchy to
+// a particular database server allows for storing a sensor's reading on
+// the nearest server and thus to avoid network traffic" (paper, Section
+// 4.3). Two strategies are provided:
+//
+//   * Murmur3Partitioner — Cassandra's default: hash the whole key and
+//     take the token modulo the node count. Balanced but locality-blind.
+//   * HierarchyPartitioner — DCDB's scheme: partition on a *prefix* of
+//     the SID (the top levels of the sensor hierarchy), so all sensors in
+//     the same sub-tree land on the same node. A Collect Agent colocated
+//     with that node then never crosses the network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/key.hpp"
+
+namespace dcdb::store {
+
+class Partitioner {
+  public:
+    virtual ~Partitioner() = default;
+    /// Index of the node owning `key` among `node_count` nodes.
+    virtual std::size_t node_for(const Key& key,
+                                 std::size_t node_count) const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Cassandra-default hash partitioning over the full key.
+class Murmur3Partitioner final : public Partitioner {
+  public:
+    std::size_t node_for(const Key& key, std::size_t node_count) const override;
+    std::string name() const override { return "murmur3"; }
+};
+
+/// Hierarchy-aware partitioning over the top `prefix_bytes` of the SID.
+/// SIDs pack the topmost hierarchy levels into their most significant
+/// bit fields (see core/sensor_id.hpp), so a short prefix selects a
+/// sub-tree and maps it to one node. The default of 6 bytes covers the
+/// top three levels (e.g. site/system/rack), so each rack's sensors stay
+/// on one server while racks spread across the cluster.
+class HierarchyPartitioner final : public Partitioner {
+  public:
+    explicit HierarchyPartitioner(std::size_t prefix_bytes = 6);
+    std::size_t node_for(const Key& key, std::size_t node_count) const override;
+    std::string name() const override { return "hierarchy"; }
+
+  private:
+    std::size_t prefix_bytes_;
+};
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name);
+
+}  // namespace dcdb::store

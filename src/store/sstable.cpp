@@ -1,0 +1,246 @@
+#include "store/sstable.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bytebuf.hpp"
+#include "common/error.hpp"
+
+namespace dcdb::store {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44535354;  // 'DSST'
+constexpr std::size_t kFooterBytes = 8 + 8 + 8 + 8 + 4;
+
+void write_row(ByteWriter& w, const Row& r) {
+    w.u64be(r.ts);
+    w.i64be(r.value);
+    w.u32be(r.expiry_s);
+}
+
+Row read_row(ByteReader& r) {
+    Row row;
+    row.ts = r.u64be();
+    row.value = r.i64be();
+    row.expiry_s = r.u32be();
+    return row;
+}
+
+void pread_exact(int fd, void* buf, std::size_t n, std::uint64_t offset,
+                 const std::string& path) {
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t got =
+            ::pread(fd, static_cast<std::uint8_t*>(buf) + done, n - done,
+                    static_cast<off_t>(offset + done));
+        if (got <= 0) throw StoreError("short read from " + path);
+        done += static_cast<std::size_t>(got);
+    }
+}
+
+}  // namespace
+
+std::unique_ptr<SsTable> SsTable::write(
+    const std::string& path, std::uint64_t generation,
+    const std::map<Key, std::vector<Row>>& partitions) {
+    ByteWriter file;
+    std::vector<IndexEntry> index;
+    index.reserve(partitions.size());
+    BloomFilter bloom(partitions.size());
+
+    for (const auto& [key, rows] : partitions) {
+        if (rows.empty()) continue;
+        IndexEntry e;
+        e.key = key;
+        e.offset = file.size();
+        e.rows = rows.size();
+        e.min_ts = rows.front().ts;
+        e.max_ts = rows.back().ts;
+        index.push_back(e);
+        for (const auto& row : rows) write_row(file, row);
+
+        std::uint8_t kb[Key::kBytes];
+        key.serialize(kb);
+        bloom.insert(kb);
+    }
+
+    const std::uint64_t index_offset = file.size();
+    for (const auto& e : index) {
+        std::uint8_t kb[Key::kBytes];
+        e.key.serialize(kb);
+        file.bytes(kb, sizeof kb);
+        file.u64be(e.offset);
+        file.u64be(e.rows);
+        file.u64be(e.min_ts);
+        file.u64be(e.max_ts);
+    }
+
+    const std::uint64_t bloom_offset = file.size();
+    file.u32be(bloom.hash_count());
+    file.u64be(bloom.bits().size());
+    for (const auto word : bloom.bits()) file.u64be(word);
+
+    file.u64be(index_offset);
+    file.u64be(bloom_offset);
+    file.u64be(index.size());
+    file.u64be(generation);
+    file.u32be(kMagic);
+
+    const std::string tmp = path + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) throw StoreError("cannot create " + tmp);
+    const auto& bytes = file.data();
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+        std::fclose(f);
+        throw StoreError("short write to " + tmp);
+    }
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw StoreError("cannot rename " + tmp);
+
+    return open(path);
+}
+
+std::unique_ptr<SsTable> SsTable::open(const std::string& path) {
+    auto table = std::unique_ptr<SsTable>(new SsTable());
+    table->path_ = path;
+    table->fd_ = ::open(path.c_str(), O_RDONLY);
+    if (table->fd_ < 0) throw StoreError("cannot open " + path);
+
+    const off_t size = ::lseek(table->fd_, 0, SEEK_END);
+    if (size < static_cast<off_t>(kFooterBytes))
+        throw StoreError("truncated sstable " + path);
+    table->file_bytes_ = static_cast<std::uint64_t>(size);
+
+    std::uint8_t footer[kFooterBytes];
+    pread_exact(table->fd_, footer, sizeof footer,
+                static_cast<std::uint64_t>(size) - kFooterBytes, path);
+    ByteReader fr(footer);
+    const std::uint64_t index_offset = fr.u64be();
+    const std::uint64_t bloom_offset = fr.u64be();
+    const std::uint64_t n_partitions = fr.u64be();
+    table->generation_ = fr.u64be();
+    if (fr.u32be() != kMagic) throw StoreError("bad magic in " + path);
+
+    // Index section.
+    constexpr std::size_t kEntryBytes = Key::kBytes + 4 * 8;
+    std::vector<std::uint8_t> raw(n_partitions * kEntryBytes);
+    if (!raw.empty())
+        pread_exact(table->fd_, raw.data(), raw.size(), index_offset, path);
+    ByteReader ir(raw);
+    table->index_.reserve(n_partitions);
+    for (std::uint64_t i = 0; i < n_partitions; ++i) {
+        IndexEntry e;
+        const auto kb = ir.bytes(Key::kBytes);
+        e.key = Key::deserialize(kb.data());
+        e.offset = ir.u64be();
+        e.rows = ir.u64be();
+        e.min_ts = ir.u64be();
+        e.max_ts = ir.u64be();
+        table->index_.push_back(e);
+    }
+
+    // Bloom section.
+    std::vector<std::uint8_t> braw(
+        static_cast<std::size_t>(size) - kFooterBytes - bloom_offset);
+    if (!braw.empty())
+        pread_exact(table->fd_, braw.data(), braw.size(), bloom_offset, path);
+    ByteReader br(braw);
+    const std::uint32_t hashes = br.u32be();
+    const std::uint64_t words = br.u64be();
+    std::vector<std::uint64_t> bits;
+    bits.reserve(words);
+    for (std::uint64_t i = 0; i < words; ++i) bits.push_back(br.u64be());
+    table->bloom_ = std::make_unique<BloomFilter>(std::move(bits), hashes);
+
+    return table;
+}
+
+SsTable::~SsTable() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+const SsTable::IndexEntry* SsTable::find_entry(const Key& key) const {
+    const auto it = std::lower_bound(
+        index_.begin(), index_.end(), key,
+        [](const IndexEntry& e, const Key& k) { return e.key < k; });
+    if (it == index_.end() || !(it->key == key)) return nullptr;
+    return &*it;
+}
+
+bool SsTable::may_contain(const Key& key) const {
+    std::uint8_t kb[Key::kBytes];
+    key.serialize(kb);
+    return bloom_->may_contain(kb);
+}
+
+void SsTable::read_rows(const IndexEntry& entry, std::size_t first_row,
+                        std::size_t n, std::vector<Row>& out) const {
+    std::vector<std::uint8_t> raw(n * Row::kBytes);
+    if (raw.empty()) return;
+    pread_exact(fd_, raw.data(), raw.size(),
+                entry.offset + first_row * Row::kBytes, path_);
+    ByteReader r(raw);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(read_row(r));
+}
+
+void SsTable::query(const Key& key, TimestampNs t0, TimestampNs t1,
+                    std::vector<Row>& out) const {
+    if (!may_contain(key)) return;
+    const IndexEntry* entry = find_entry(key);
+    if (!entry || entry->min_ts > t1 || entry->max_ts < t0) return;
+
+    // Binary search for the first row >= t0 using fixed-size records.
+    std::size_t lo = 0, hi = entry->rows;
+    std::uint8_t rowbuf[Row::kBytes];
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        pread_exact(fd_, rowbuf, sizeof rowbuf,
+                    entry->offset + mid * Row::kBytes, path_);
+        ByteReader r(rowbuf);
+        if (r.u64be() < t0)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+
+    // Read forward until past t1 (in chunks to bound memory).
+    constexpr std::size_t kChunk = 4096;
+    std::vector<Row> chunk;
+    for (std::size_t i = lo; i < entry->rows;) {
+        const std::size_t n = std::min(kChunk, entry->rows - i);
+        chunk.clear();
+        read_rows(*entry, i, n, chunk);
+        for (const auto& row : chunk) {
+            if (row.ts > t1) return;
+            out.push_back(row);
+        }
+        i += n;
+    }
+}
+
+std::vector<Key> SsTable::keys() const {
+    std::vector<Key> out;
+    out.reserve(index_.size());
+    for (const auto& e : index_) out.push_back(e.key);
+    return out;
+}
+
+std::vector<Row> SsTable::read_partition(const Key& key) const {
+    std::vector<Row> out;
+    const IndexEntry* entry = find_entry(key);
+    if (entry) read_rows(*entry, 0, entry->rows, out);
+    return out;
+}
+
+std::uint64_t SsTable::row_count() const {
+    std::uint64_t n = 0;
+    for (const auto& e : index_) n += e.rows;
+    return n;
+}
+
+}  // namespace dcdb::store

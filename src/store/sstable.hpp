@@ -1,0 +1,83 @@
+// Immutable on-disk sorted string table.
+//
+// File layout (all integers big-endian):
+//
+//   [data]    per partition, in key order:
+//               rows: (u64 ts, i64 value, u32 expiry_s) sorted by ts
+//   [index]   per partition: key (20B), u64 data offset, u64 row count,
+//               u64 min_ts, u64 max_ts
+//   [bloom]   u32 hash count, u64 word count, words
+//   [footer]  u64 index offset, u64 bloom offset, u64 partition count,
+//               u64 generation, u32 magic 'DSST'
+//
+// The index and bloom filter are loaded at open; row data is served with
+// pread, so a table costs O(partitions) memory regardless of row volume.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/bloom.hpp"
+#include "store/key.hpp"
+#include "store/row.hpp"
+
+namespace dcdb::store {
+
+class SsTable {
+  public:
+    /// Write a new table from sorted partitions; returns the opened table.
+    static std::unique_ptr<SsTable> write(
+        const std::string& path, std::uint64_t generation,
+        const std::map<Key, std::vector<Row>>& partitions);
+
+    /// Open an existing table (loads index + bloom).
+    static std::unique_ptr<SsTable> open(const std::string& path);
+
+    ~SsTable();
+    SsTable(const SsTable&) = delete;
+    SsTable& operator=(const SsTable&) = delete;
+
+    /// Rows in [t0, t1] for `key`, appended to `out` in timestamp order.
+    void query(const Key& key, TimestampNs t0, TimestampNs t1,
+               std::vector<Row>& out) const;
+
+    /// All keys in this table (for compaction).
+    std::vector<Key> keys() const;
+
+    /// Full partition contents (for compaction).
+    std::vector<Row> read_partition(const Key& key) const;
+
+    bool may_contain(const Key& key) const;
+
+    std::uint64_t generation() const { return generation_; }
+    std::size_t partition_count() const { return index_.size(); }
+    std::uint64_t row_count() const;
+    const std::string& path() const { return path_; }
+    std::uint64_t file_bytes() const { return file_bytes_; }
+
+  private:
+    struct IndexEntry {
+        Key key;
+        std::uint64_t offset;
+        std::uint64_t rows;
+        TimestampNs min_ts;
+        TimestampNs max_ts;
+    };
+
+    SsTable() = default;
+    void read_rows(const IndexEntry& entry, std::size_t first_row,
+                   std::size_t n, std::vector<Row>& out) const;
+    const IndexEntry* find_entry(const Key& key) const;
+
+    std::string path_;
+    int fd_{-1};
+    std::uint64_t generation_{0};
+    std::uint64_t file_bytes_{0};
+    std::vector<IndexEntry> index_;  // sorted by key
+    std::unique_ptr<BloomFilter> bloom_;
+};
+
+}  // namespace dcdb::store

@@ -1,0 +1,47 @@
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_utils.hpp"
+#include "libdcdb/csv.hpp"
+#include "tools/local_db.hpp"
+#include "tools/tools.hpp"
+
+namespace dcdb::tools {
+
+int run_csvimport(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+    std::string db_dir;
+    std::string file;
+    std::uint32_t ttl = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--db" && i + 1 < args.size()) db_dir = args[++i];
+        else if (args[i] == "--ttl" && i + 1 < args.size())
+            ttl = static_cast<std::uint32_t>(
+                parse_u64(args[++i]).value_or(0));
+        else file = args[i];
+    }
+    if (db_dir.empty() || file.empty()) {
+        err << "usage: csvimport --db DIR FILE [--ttl SECONDS]\n";
+        return 2;
+    }
+    std::ifstream in(file);
+    if (!in) {
+        err << "csvimport: cannot open " << file << "\n";
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    try {
+        LocalDatabase db(db_dir);
+        const std::size_t n = lib::import_csv(db.conn(), ss.str(), ttl);
+        db.cluster().flush_all();
+        out << "imported " << n << " readings\n";
+        return 0;
+    } catch (const std::exception& e) {
+        err << "csvimport: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace dcdb::tools

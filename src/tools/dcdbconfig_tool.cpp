@@ -1,0 +1,188 @@
+#include <iostream>
+
+#include "common/string_utils.hpp"
+#include "core/hierarchy.hpp"
+#include "tools/local_db.hpp"
+#include "tools/tools.hpp"
+
+namespace dcdb::tools {
+
+namespace {
+
+int sensor_command(LocalDatabase& db, const std::vector<std::string>& args,
+                   std::ostream& out, std::ostream& err) {
+    if (args.empty()) {
+        err << "usage: sensor list|show|publish ...\n";
+        return 2;
+    }
+    const std::string& sub = args[0];
+    if (sub == "list") {
+        const std::string prefix = args.size() > 1 ? args[1] : "";
+        for (const auto& topic : db.conn().list_sensors(prefix))
+            out << topic << "\n";
+        return 0;
+    }
+    if (sub == "show") {
+        if (args.size() < 2) {
+            err << "usage: sensor show TOPIC\n";
+            return 2;
+        }
+        const auto md = db.conn().metadata().get(args[1]);
+        if (!md) {
+            err << "no metadata published for " << args[1] << "\n";
+            return 1;
+        }
+        out << "topic " << md->topic << "\nunit " << md->unit << "\nscale "
+            << md->scale << "\ninterval " << md->interval_ns << "\nttl "
+            << md->ttl_s << "\nvirtual " << (md->is_virtual ? 1 : 0) << "\n";
+        if (md->is_virtual) out << "expression " << md->expression << "\n";
+        return 0;
+    }
+    if (sub == "publish") {
+        if (args.size() < 2) {
+            err << "usage: sensor publish TOPIC [unit=U] [scale=S] [ttl=N] "
+                   "[interval=DUR]\n";
+            return 2;
+        }
+        SensorMetadata md;
+        const auto existing = db.conn().metadata().get(args[1]);
+        if (existing) md = *existing;
+        md.topic = args[1];
+        for (std::size_t i = 2; i < args.size(); ++i) {
+            const auto eq = args[i].find('=');
+            if (eq == std::string::npos) {
+                err << "expected key=value, got " << args[i] << "\n";
+                return 2;
+            }
+            const std::string key = args[i].substr(0, eq);
+            const std::string value = args[i].substr(eq + 1);
+            if (key == "unit") md.unit = value;
+            else if (key == "scale")
+                md.scale = parse_double(value).value_or(1.0);
+            else if (key == "ttl")
+                md.ttl_s = static_cast<std::uint32_t>(
+                    parse_u64(value).value_or(0));
+            else if (key == "interval")
+                md.interval_ns = parse_duration_ns(value).value_or(0);
+            else {
+                err << "unknown attribute " << key << "\n";
+                return 2;
+            }
+        }
+        db.conn().metadata().publish(md);
+        out << "published " << md.topic << "\n";
+        return 0;
+    }
+    err << "unknown sensor command: " << sub << "\n";
+    return 2;
+}
+
+int vsensor_command(LocalDatabase& db, const std::vector<std::string>& args,
+                    std::ostream& out, std::ostream& err) {
+    if (args.size() < 5 || args[0] != "define") {
+        err << "usage: vsensor define TOPIC UNIT SCALE EXPRESSION...\n";
+        return 2;
+    }
+    const std::string& topic = args[1];
+    const std::string& unit = args[2];
+    const auto scale = parse_double(args[3]);
+    if (!scale) {
+        err << "bad scale: " << args[3] << "\n";
+        return 2;
+    }
+    std::string expression;
+    for (std::size_t i = 4; i < args.size(); ++i) {
+        if (i > 4) expression += " ";
+        expression += args[i];
+    }
+    db.conn().define_virtual(topic, expression, unit, *scale);
+    out << "defined virtual sensor " << topic << " = " << expression << "\n";
+    return 0;
+}
+
+int db_command(LocalDatabase& db, const std::vector<std::string>& args,
+               std::ostream& out, std::ostream& err) {
+    if (args.empty()) {
+        err << "usage: db compact|flush|truncate|stats\n";
+        return 2;
+    }
+    const std::string& sub = args[0];
+    if (sub == "compact") {
+        db.cluster().compact_all();
+        out << "compacted\n";
+        return 0;
+    }
+    if (sub == "flush") {
+        db.cluster().flush_all();
+        out << "flushed\n";
+        return 0;
+    }
+    if (sub == "truncate") {
+        if (args.size() < 2) {
+            err << "usage: db truncate TIMESTAMP_NS\n";
+            return 2;
+        }
+        const auto cutoff = parse_u64(args[1]);
+        if (!cutoff) {
+            err << "bad timestamp: " << args[1] << "\n";
+            return 2;
+        }
+        db.cluster().truncate_before(*cutoff);
+        out << "truncated before " << *cutoff << "\n";
+        return 0;
+    }
+    if (sub == "stats") {
+        const auto stats = db.cluster().stats();
+        for (std::size_t i = 0; i < stats.per_node.size(); ++i) {
+            const auto& ns = stats.per_node[i];
+            out << "node" << i << " writes " << ns.writes << " reads "
+                << ns.reads << " sstables " << ns.sstables << " disk "
+                << ns.disk_bytes << "\n";
+        }
+        return 0;
+    }
+    err << "unknown db command: " << sub << "\n";
+    return 2;
+}
+
+int hierarchy_command(LocalDatabase& db,
+                      const std::vector<std::string>& args,
+                      std::ostream& out) {
+    SensorTree tree;
+    for (const auto& topic : db.conn().list_sensors()) tree.add(topic);
+    const std::string path = args.empty() ? "/" : args[0];
+    for (const auto& child : tree.children(path)) out << child << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+    std::string db_dir;
+    std::vector<std::string> rest;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--db" && i + 1 < args.size()) db_dir = args[++i];
+        else rest.push_back(args[i]);
+    }
+    if (db_dir.empty() || rest.empty()) {
+        err << "usage: dcdbconfig --db DIR sensor|vsensor|db|hierarchy ...\n";
+        return 2;
+    }
+    try {
+        LocalDatabase db(db_dir);
+        const std::string command = rest[0];
+        rest.erase(rest.begin());
+        if (command == "sensor") return sensor_command(db, rest, out, err);
+        if (command == "vsensor") return vsensor_command(db, rest, out, err);
+        if (command == "db") return db_command(db, rest, out, err);
+        if (command == "hierarchy") return hierarchy_command(db, rest, out);
+        err << "unknown command: " << command << "\n";
+        return 2;
+    } catch (const std::exception& e) {
+        err << "dcdbconfig: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace dcdb::tools

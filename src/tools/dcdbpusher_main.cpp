@@ -1,0 +1,52 @@
+// dcdbpusher: the deployable per-node monitoring daemon.
+//
+// Usage: dcdbpusher CONFIG_FILE
+//
+// Loads the property-tree configuration (see pusher/pusher.hpp for the
+// schema and src/plugins/*.hpp for per-plugin options), starts sampling
+// and pushing, and runs until SIGINT/SIGTERM. The REST API (if enabled)
+// allows runtime start/stop/reload of individual plugins.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "pusher/pusher.hpp"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: dcdbpusher CONFIG_FILE\n");
+        return 2;
+    }
+    dcdb::Logger::instance().set_level(dcdb::LogLevel::kInfo);
+
+    try {
+        auto pusher = dcdb::pusher::Pusher::from_file(argv[1]);
+        pusher->start();
+        const auto stats = pusher->stats();
+        std::printf("dcdbpusher: %zu plugins, %zu sensors", stats.plugins,
+                    stats.sensors);
+        if (pusher->rest_port() != 0)
+            std::printf(", REST on 127.0.0.1:%u", pusher->rest_port());
+        std::printf("\n");
+
+        std::signal(SIGINT, handle_signal);
+        std::signal(SIGTERM, handle_signal);
+        while (!g_stop)
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+        std::printf("dcdbpusher: shutting down (%llu readings pushed)\n",
+                    static_cast<unsigned long long>(
+                        pusher->stats().readings_pushed));
+        pusher->stop();
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "dcdbpusher: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/tools.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return dcdb::tools::run_dcdbquery(args, std::cout, std::cerr);
+}

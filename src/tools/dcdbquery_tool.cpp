@@ -1,0 +1,96 @@
+#include <iostream>
+
+#include "common/string_utils.hpp"
+#include "libdcdb/csv.hpp"
+#include "tools/local_db.hpp"
+#include "tools/tools.hpp"
+
+namespace dcdb::tools {
+
+namespace {
+
+struct QueryArgs {
+    std::string db_dir;
+    std::string topic;
+    TimestampNs t0{0};
+    TimestampNs t1{kTimestampMax};
+    bool raw{false};
+    bool integral{false};
+    bool derivative{false};
+    bool csv{false};
+};
+
+bool parse_args(const std::vector<std::string>& args, QueryArgs& out,
+                std::ostream& err) {
+    std::vector<std::string> positional;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "--db" && i + 1 < args.size()) out.db_dir = args[++i];
+        else if (a == "--raw") out.raw = true;
+        else if (a == "--integral") out.integral = true;
+        else if (a == "--derivative") out.derivative = true;
+        else if (a == "--csv") out.csv = true;
+        else positional.push_back(a);
+    }
+    if (out.db_dir.empty() || positional.size() < 1) {
+        err << "usage: dcdbquery --db DIR TOPIC [T0 T1] "
+               "[--raw|--integral|--derivative] [--csv]\n";
+        return false;
+    }
+    out.topic = positional[0];
+    if (positional.size() > 1) {
+        const auto t0 = parse_u64(positional[1]);
+        if (!t0) {
+            err << "bad T0: " << positional[1] << "\n";
+            return false;
+        }
+        out.t0 = *t0;
+    }
+    if (positional.size() > 2) {
+        const auto t1 = parse_u64(positional[2]);
+        if (!t1) {
+            err << "bad T1: " << positional[2] << "\n";
+            return false;
+        }
+        out.t1 = *t1;
+    }
+    return true;
+}
+
+}  // namespace
+
+int run_dcdbquery(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+    QueryArgs qa;
+    if (!parse_args(args, qa, err)) return 2;
+    try {
+        LocalDatabase db(qa.db_dir);
+        if (qa.integral) {
+            out << db.conn().integral(qa.topic, qa.t0, qa.t1) << "\n";
+            return 0;
+        }
+        if (qa.derivative) {
+            const auto series = db.conn().derivative(qa.topic, qa.t0, qa.t1);
+            out << lib::samples_to_csv(qa.topic, series);
+            return 0;
+        }
+        if (qa.raw) {
+            const auto readings = db.conn().query_raw(qa.topic, qa.t0, qa.t1);
+            out << lib::readings_to_csv(qa.topic, readings);
+            return 0;
+        }
+        const auto series = db.conn().query(qa.topic, qa.t0, qa.t1);
+        if (qa.csv) {
+            out << lib::samples_to_csv(qa.topic, series);
+        } else {
+            for (const auto& s : series)
+                out << s.ts << " " << strfmt("%.9g", s.value) << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        err << "dcdbquery: " << e.what() << "\n";
+        return 1;
+    }
+}
+
+}  // namespace dcdb::tools

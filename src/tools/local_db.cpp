@@ -1,0 +1,16 @@
+#include "tools/local_db.hpp"
+
+namespace dcdb::tools {
+
+LocalDatabase::LocalDatabase(const std::string& dir, std::size_t nodes,
+                             const std::string& partitioner) {
+    store::ClusterConfig config;
+    config.base_dir = dir;
+    config.nodes = nodes;
+    config.partitioner = partitioner;
+    cluster_ = std::make_unique<store::StoreCluster>(config);
+    meta_ = std::make_unique<store::MetaStore>(dir + "/meta.log");
+    conn_ = std::make_unique<lib::Connection>(*cluster_, *meta_);
+}
+
+}  // namespace dcdb::tools

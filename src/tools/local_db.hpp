@@ -1,0 +1,30 @@
+// Helper owning a local storage deployment for the command line tools:
+// a store cluster rooted at a directory plus the shared metadata store
+// and a libDCDB connection over them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "libdcdb/connection.hpp"
+#include "store/cluster.hpp"
+#include "store/metastore.hpp"
+
+namespace dcdb::tools {
+
+class LocalDatabase {
+  public:
+    explicit LocalDatabase(const std::string& dir, std::size_t nodes = 1,
+                           const std::string& partitioner = "hierarchy");
+
+    store::StoreCluster& cluster() { return *cluster_; }
+    store::MetaStore& meta() { return *meta_; }
+    lib::Connection& conn() { return *conn_; }
+
+  private:
+    std::unique_ptr<store::StoreCluster> cluster_;
+    std::unique_ptr<store::MetaStore> meta_;
+    std::unique_ptr<lib::Connection> conn_;
+};
+
+}  // namespace dcdb::tools

@@ -1,0 +1,212 @@
+// dcdbplugen: plugin skeleton generator.
+//
+// "To simplify the process of implementing such plugins DCDB provides a
+// series of generator scripts. They create all files required for a new
+// plugin and fill them with code skeletons to connect to the plugin
+// interface. Comment blocks point to all locations where custom code has
+// to be provided" (paper, Section 4.1).
+//
+// Usage: dcdbplugen NAME [--out DIR] [--with-entity]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/string_utils.hpp"
+#include "tools/tools.hpp"
+
+namespace dcdb::tools {
+
+namespace {
+
+bool valid_plugin_name(const std::string& name) {
+    if (name.empty() || !std::isalpha(static_cast<unsigned char>(name[0])))
+        return false;
+    for (const char c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    }
+    return true;
+}
+
+std::string camel(const std::string& name) {
+    std::string out(1, static_cast<char>(
+                           std::toupper(static_cast<unsigned char>(name[0]))));
+    out += name.substr(1);
+    return out;
+}
+
+std::string header_skeleton(const std::string& name, bool with_entity) {
+    const std::string cls = camel(name);
+    std::string out =
+        "// " + name + " plugin: <DESCRIBE YOUR DATA SOURCE HERE>.\n"
+        "//\n"
+        "// Configuration:\n"
+        "//   " + name + " {\n";
+    if (with_entity)
+        out += "//       entity host0 { /* CUSTOM: connection settings */ }\n";
+    out +=
+        "//       group g0 {\n"
+        "//           interval 1s\n"
+        "//           sensor s0 { /* CUSTOM: per-sensor settings */ }\n"
+        "//       }\n"
+        "//   }\n"
+        "#pragma once\n"
+        "\n"
+        "#include <string>\n"
+        "\n"
+        "#include \"pusher/plugin.hpp\"\n"
+        "\n"
+        "namespace dcdb::plugins {\n"
+        "\n"
+        "class " + cls + "Plugin final : public pusher::Plugin {\n"
+        "  public:\n"
+        "    std::string name() const override { return \"" + name +
+        "\"; }\n"
+        "    void configure(const ConfigNode& config,\n"
+        "                   const pusher::PluginContext& ctx) override;\n"
+        "};\n"
+        "\n"
+        "}  // namespace dcdb::plugins\n";
+    return out;
+}
+
+std::string source_skeleton(const std::string& name, bool with_entity) {
+    const std::string cls = camel(name);
+    std::string out =
+        "#include \"plugins/" + name + "_plugin.hpp\"\n"
+        "\n"
+        "#include \"common/clock.hpp\"\n"
+        "#include \"common/error.hpp\"\n"
+        "\n"
+        "namespace dcdb::plugins {\n"
+        "\n"
+        "namespace {\n"
+        "\n";
+    if (with_entity) {
+        out +=
+            "/// Shared connection to one data source host; all groups\n"
+            "/// reading from the same host reference it.\n"
+            "class " + cls + "Entity final : public pusher::Entity {\n"
+            "  public:\n"
+            "    explicit " + cls + "Entity(std::string name)\n"
+            "        : Entity(std::move(name)) {\n"
+            "        // CUSTOM: open the connection to your data source.\n"
+            "    }\n"
+            "};\n"
+            "\n";
+    }
+    out +=
+        "class " + cls + "Group final : public pusher::SensorGroup {\n"
+        "  public:\n"
+        "    using SensorGroup::SensorGroup;\n"
+        "\n"
+        "  protected:\n"
+        "    bool do_read(TimestampNs ts, std::vector<Value>& out) override "
+        "{\n"
+        "        (void)ts;\n"
+        "        // CUSTOM: acquire one value per sensor of this group.\n"
+        "        // Return false to skip this cycle (source unavailable).\n"
+        "        for (auto& value : out) value = 0;\n"
+        "        return true;\n"
+        "    }\n"
+        "};\n"
+        "\n"
+        "}  // namespace\n"
+        "\n"
+        "void " + cls + "Plugin::configure(const ConfigNode& config,\n"
+        "                                  const pusher::PluginContext& ctx) "
+        "{\n";
+    if (with_entity) {
+        out +=
+            "    for (const auto* entity_node : "
+            "config.children_named(\"entity\")) {\n"
+            "        // CUSTOM: read connection settings from entity_node.\n"
+            "        add_entity(std::make_unique<" + cls + "Entity>(\n"
+            "            entity_node->value()));\n"
+            "    }\n";
+    }
+    out +=
+        "    for (const auto* group_node : "
+        "config.children_named(\"group\")) {\n"
+        "        const auto interval =\n"
+        "            group_node->get_duration_ns_or(\"interval\", "
+        "kNsPerSec);\n"
+        "        auto group = std::make_unique<" + cls + "Group>(\n"
+        "            group_node->value(), interval);\n"
+        "        for (const auto* sensor_node :\n"
+        "             group_node->children_named(\"sensor\")) {\n"
+        "            auto& sensor = group->add_sensor(\n"
+        "                std::make_unique<pusher::SensorBase>(\n"
+        "                    sensor_node->value(),\n"
+        "                    ctx.topic_prefix + \"/" + name +
+        "/\" + group_node->value() +\n"
+        "                        \"/\" + sensor_node->value()));\n"
+        "            // CUSTOM: per-sensor configuration (unit, scale,\n"
+        "            // delta mode, source address, ...).\n"
+        "            (void)sensor;\n"
+        "        }\n"
+        "        add_group(std::move(group));\n"
+        "    }\n"
+        "}\n"
+        "\n"
+        "}  // namespace dcdb::plugins\n";
+    return out;
+}
+
+std::string register_instructions(const std::string& name) {
+    const std::string cls = camel(name);
+    return "Generated plugins/" + name + "_plugin.{hpp,cpp}.\n"
+           "To finish the integration:\n"
+           "  1. add " + name + "_plugin.cpp to src/plugins/CMakeLists.txt\n"
+           "  2. in src/plugins/register.cpp, add\n"
+           "       #include \"plugins/" + name + "_plugin.hpp\"\n"
+           "       registry.register_plugin(\"" + name +
+           "\", [] { return std::make_unique<" + cls + "Plugin>(); });\n"
+           "  3. fill in every CUSTOM comment block\n";
+}
+
+}  // namespace
+
+int run_plugen(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+    std::string name;
+    std::string out_dir = ".";
+    bool with_entity = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out" && i + 1 < args.size()) out_dir = args[++i];
+        else if (args[i] == "--with-entity") with_entity = true;
+        else name = args[i];
+    }
+    if (!valid_plugin_name(name)) {
+        err << "usage: dcdbplugen NAME [--out DIR] [--with-entity]\n"
+               "NAME must be a C identifier starting with a letter\n";
+        return 2;
+    }
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(out_dir, ec);
+    const fs::path header = fs::path(out_dir) / (name + "_plugin.hpp");
+    const fs::path source = fs::path(out_dir) / (name + "_plugin.cpp");
+    if (fs::exists(header) || fs::exists(source)) {
+        err << "dcdbplugen: refusing to overwrite existing "
+            << header.string() << "\n";
+        return 1;
+    }
+    {
+        std::ofstream h(header);
+        if (!h) {
+            err << "dcdbplugen: cannot write " << header.string() << "\n";
+            return 1;
+        }
+        h << header_skeleton(name, with_entity);
+    }
+    {
+        std::ofstream s(source);
+        s << source_skeleton(name, with_entity);
+    }
+    out << register_instructions(name);
+    return 0;
+}
+
+}  // namespace dcdb::tools

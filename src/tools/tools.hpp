@@ -1,0 +1,32 @@
+// Command line tool entry points (paper, Section 5.2). Each tool is a
+// function over (args, out, err) so tests can drive them directly; the
+// main() wrappers forward argv.
+//
+//   dcdbquery  --db DIR TOPIC T0 T1 [--raw|--integral|--derivative] [--csv]
+//   dcdbconfig --db DIR COMMAND...
+//       sensor list [PREFIX]
+//       sensor show TOPIC
+//       sensor publish TOPIC [unit=U] [scale=S] [ttl=N] [interval=I]
+//       vsensor define TOPIC UNIT SCALE EXPRESSION...
+//       db compact | db flush | db truncate TIMESTAMP | db stats
+//       hierarchy [PATH]
+//   csvimport  --db DIR FILE [--ttl N]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcdb::tools {
+
+int run_dcdbquery(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+int run_csvimport(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+/// dcdbplugen NAME [--out DIR] [--with-entity] — plugin skeleton generator.
+int run_plugen(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+
+}  // namespace dcdb::tools

@@ -1,0 +1,192 @@
+// Tests for the analysis utilities: statistics, regression (paper Eq. 1),
+// KDE (Figure 10's density fits) and the table/chart emitters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/kde.hpp"
+#include "analysis/regression.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace dcdb::analysis {
+namespace {
+
+TEST(Stats, MeanMedianQuantiles) {
+    const std::vector<double> v = {5, 1, 4, 2, 3};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, MedianInterpolatesEvenSizes) {
+    EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+    EXPECT_DOUBLE_EQ(variance({2, 2, 2, 2}), 0.0);
+    EXPECT_NEAR(stddev({1, 2, 3, 4, 5}), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+    EXPECT_THROW(mean({}), Error);
+    EXPECT_THROW(median({}), Error);
+    EXPECT_THROW(histogram({}, 4), Error);
+}
+
+TEST(Stats, OverheadMetricMatchesPaperDefinition) {
+    // O = (Tp - Tr) / Tr
+    EXPECT_NEAR(overhead_percent(100.0, 101.77), 1.77, 1e-9);
+    // Monitored faster than reference reports 0, per Figure 5's caption.
+    EXPECT_DOUBLE_EQ(overhead_percent(100.0, 99.0), 0.0);
+    EXPECT_THROW(overhead_percent(0.0, 1.0), Error);
+}
+
+TEST(Stats, HistogramBinning) {
+    const auto h = histogram({0.0, 0.1, 0.5, 0.9, 1.0}, 2, 0.0, 1.0);
+    ASSERT_EQ(h.counts.size(), 2u);
+    EXPECT_EQ(h.counts[0], 2u);  // 0.0, 0.1
+    EXPECT_EQ(h.counts[1], 3u);  // 0.5 (lands in upper bin), 0.9, 1.0
+    EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+}
+
+TEST(Regression, RecoversExactLine) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(3.5 * i + 2.0);
+    }
+    const auto fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 3.5, 1e-9);
+    EXPECT_NEAR(fit.intercept, 2.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineStillHighR2) {
+    Rng rng(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(i);
+        y.push_back(0.8 * i + 10 + rng.gaussian(0.0, 2.0));
+    }
+    const auto fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.slope, 0.8, 0.05);
+    EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(Regression, DegenerateInputsThrow) {
+    EXPECT_THROW(linear_fit({1}, {2}), Error);
+    EXPECT_THROW(linear_fit({1, 1}, {2, 3}), Error);
+    EXPECT_THROW(linear_fit({1, 2}, {2}), Error);
+}
+
+TEST(Regression, Equation1Interpolation) {
+    // Paper Eq. 1: Lp(s) = Lp(a) + (s-a) * (Lp(b)-Lp(a)) / (b-a).
+    // With measurements at 100 and 10000 sensors/s, predict 5000.
+    const double predicted = interpolate_load(5000, 100, 0.1, 10000, 2.0);
+    EXPECT_NEAR(predicted, 0.1 + 4900.0 / 9900.0 * 1.9, 1e-9);
+    EXPECT_THROW(interpolate_load(1, 2, 0.1, 2, 0.2), Error);
+}
+
+TEST(Kde, IntegratesToOne) {
+    Rng rng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i) samples.push_back(rng.gaussian(10.0, 2.0));
+    const auto curve = kde_curve(samples, 0.0, 20.0, 400);
+    double integral = 0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        integral += 0.5 * (curve[i].second + curve[i - 1].second) *
+                    (curve[i].first - curve[i - 1].first);
+    }
+    EXPECT_NEAR(integral, 1.0, 0.05);
+}
+
+TEST(Kde, PeaksNearTheMode) {
+    Rng rng(6);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) samples.push_back(rng.gaussian(4.0, 0.5));
+    const auto curve = kde_curve(samples, 0.0, 8.0, 200);
+    double best_x = 0, best_y = -1;
+    for (const auto& [x, y] : curve) {
+        if (y > best_y) {
+            best_y = y;
+            best_x = x;
+        }
+    }
+    EXPECT_NEAR(best_x, 4.0, 0.3);
+}
+
+TEST(Kde, BimodalMixtureShowsTwoModes) {
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i) samples.push_back(rng.gaussian(2.0, 0.3));
+    for (int i = 0; i < 500; ++i) samples.push_back(rng.gaussian(6.0, 0.3));
+    const auto curve = kde_curve(samples, 0.0, 8.0, 400);
+    // Density at the modes must exceed the valley between them.
+    const auto at = [&](double x) {
+        double best = 0;
+        for (const auto& [cx, cy] : curve)
+            if (std::abs(cx - x) < 0.05) best = std::max(best, cy);
+        return best;
+    };
+    EXPECT_GT(at(2.0), 2.0 * at(4.0));
+    EXPECT_GT(at(6.0), 2.0 * at(4.0));
+}
+
+TEST(Kde, SilvermanBandwidthScalesWithSpread) {
+    Rng rng(8);
+    std::vector<double> narrow, wide;
+    for (int i = 0; i < 300; ++i) {
+        narrow.push_back(rng.gaussian(0.0, 1.0));
+        wide.push_back(rng.gaussian(0.0, 10.0));
+    }
+    EXPECT_GT(silverman_bandwidth(wide), 5 * silverman_bandwidth(narrow));
+}
+
+TEST(Kde, InvalidInputsThrow) {
+    EXPECT_THROW(kde_at({}, 0.0, 1.0), Error);
+    EXPECT_THROW(kde_at({1.0}, 0.0, -1.0), Error);
+    EXPECT_THROW(kde_curve({1.0}, 0, 1, 1), Error);
+}
+
+TEST(Table, AlignedRendering) {
+    Table t({"name", "value"});
+    t.cell("power").cell(42.5, 1).end_row();
+    t.cell("long-sensor-name").cell(std::uint64_t{7}).end_row();
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| power"), std::string::npos);
+    EXPECT_NE(s.find("42.5"), std::string::npos);
+    EXPECT_NE(s.find("long-sensor-name"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+    Table t({"a", "b"});
+    t.cell("with,comma").cell("with\"quote").end_row();
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, HeatmapRendersAllCells) {
+    const auto s = ascii_heatmap({"r1", "r2"}, {"c1", "c2", "c3"},
+                                 {{0.1, 0.2, 0.3}, {1.0, 2.0, 3.0}}, "%");
+    EXPECT_NE(s.find("3.00"), std::string::npos);
+    EXPECT_NE(s.find("r2"), std::string::npos);
+    EXPECT_THROW(ascii_heatmap({"r1"}, {}, {}, "%"), Error);
+}
+
+TEST(Table, ChartRendersLegend) {
+    const std::vector<double> x = {1, 2, 3, 4};
+    const auto s = ascii_chart(x, {{"loadA", {0, 1, 2, 3}},
+                                   {"loadB", {3, 2, 1, 0}}});
+    EXPECT_NE(s.find("legend"), std::string::npos);
+    EXPECT_NE(s.find("loadA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcdb::analysis

@@ -1,0 +1,276 @@
+// Collect Agent integration tests: Pusher -> MQTT -> SID translation ->
+// Storage Backend, the sensor cache, hierarchy and REST API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "collectagent/collect_agent.hpp"
+#include "common/clock.hpp"
+#include "core/payload.hpp"
+#include "mqtt/client.hpp"
+#include "pusher/pusher.hpp"
+
+namespace dcdb::collectagent {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CollectAgentTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("dcdb_ca_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++));
+        fs::create_directories(dir_);
+        store::ClusterConfig config;
+        config.base_dir = dir_.string();
+        config.nodes = 2;
+        config.commitlog_enabled = false;
+        cluster_ = std::make_unique<store::StoreCluster>(config);
+        meta_ = std::make_unique<store::MetaStore>();
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    static std::atomic<int> counter_;
+    fs::path dir_;
+    std::unique_ptr<store::StoreCluster> cluster_;
+    std::unique_ptr<store::MetaStore> meta_;
+};
+
+std::atomic<int> CollectAgentTest::counter_{0};
+
+std::vector<Reading> query_topic(store::StoreCluster& cluster,
+                                 TopicMapper& mapper,
+                                 const std::string& topic, TimestampNs t0,
+                                 TimestampNs t1) {
+    SensorId sid;
+    if (!mapper.lookup(topic, sid)) return {};
+    std::vector<Reading> out;
+    for (std::uint32_t b = time_bucket(t0); b <= time_bucket(t1); ++b) {
+        store::Key key{sid.bytes, b};
+        for (const auto& row : cluster.query(key, t0, t1))
+            out.push_back({row.ts, row.value});
+    }
+    return out;
+}
+
+TEST_F(CollectAgentTest, IngestsPublishedReadingsIntoStore) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "test-pusher");
+    client.connect();
+
+    const std::vector<Reading> readings = {{kNsPerSec, 10},
+                                           {2 * kNsPerSec, 20}};
+    client.publish("/sys/rack0/node1/power", encode_readings(readings), 1);
+    client.disconnect();
+
+    const auto stored =
+        query_topic(*cluster_, agent.mapper(), "/sys/rack0/node1/power", 0,
+                    kTimestampMax);
+    ASSERT_EQ(stored.size(), 2u);
+    EXPECT_EQ(stored[0].value, 10);
+    EXPECT_EQ(stored[1].value, 20);
+
+    const auto stats = agent.stats();
+    EXPECT_EQ(stats.messages, 1u);
+    EXPECT_EQ(stats.readings, 2u);
+    EXPECT_EQ(stats.decode_errors, 0u);
+}
+
+TEST_F(CollectAgentTest, CacheHoldsLatestReadingPerSensor) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    client.publish("/a/s1",
+                   encode_readings({{1, 1}, {2, 2}, {3, 33}}), 1);
+    client.publish("/a/s2", encode_readings({{1, 7}}), 1);
+    client.disconnect();
+
+    EXPECT_EQ(agent.cache().latest("/a/s1")->value, 33);
+    EXPECT_EQ(agent.cache().latest("/a/s2")->value, 7);
+    EXPECT_EQ(agent.stats().known_sensors, 2u);
+}
+
+TEST_F(CollectAgentTest, HierarchyTreeTracksTopics) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    for (const char* topic :
+         {"/lrz/cm3/rack0/node0/power", "/lrz/cm3/rack0/node1/power",
+          "/lrz/cm3/rack1/node0/power"}) {
+        client.publish(topic, encode_readings({{1, 1}}), 1);
+    }
+    client.disconnect();
+    EXPECT_EQ(agent.hierarchy().children("/lrz/cm3").size(), 2u);
+    EXPECT_EQ(agent.hierarchy().sensors_below("/lrz/cm3/rack0").size(), 2u);
+}
+
+TEST_F(CollectAgentTest, MalformedPayloadCountsDecodeError) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    client.publish("/bad/payload", std::string("123"), 1);  // not 16-aligned
+    client.disconnect();
+    EXPECT_EQ(agent.stats().decode_errors, 1u);
+    EXPECT_EQ(agent.stats().readings, 0u);
+}
+
+TEST_F(CollectAgentTest, SidsAreStableAcrossAgentRestarts) {
+    SensorId first;
+    {
+        CollectAgent agent(parse_config("global { listenTcp false }"),
+                           cluster_.get(), meta_.get());
+        mqtt::MqttClient client(agent.connect_inproc(), "p");
+        client.connect();
+        client.publish("/sys/node0/temp", encode_readings({{1, 1}}), 1);
+        client.disconnect();
+        ASSERT_TRUE(agent.mapper().lookup("/sys/node0/temp", first));
+    }
+    // New agent over the same metastore: same SID, data still reachable.
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    SensorId second;
+    ASSERT_TRUE(agent.mapper().lookup("/sys/node0/temp", second));
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/sys/node0/temp", 0,
+                          kTimestampMax)
+                  .size(),
+              1u);
+}
+
+TEST_F(CollectAgentTest, TtlIsAppliedToIngestedRows) {
+    CollectAgent agent(
+        parse_config("global { listenTcp false ; ttl 3600 }"),
+        cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    const TimestampNs now = now_ns();
+    client.publish("/x/y", encode_readings({{now, 1}}), 1);
+    client.disconnect();
+    // Row present now (expiry one hour out).
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/x/y", 0,
+                          kTimestampMax)
+                  .size(),
+              1u);
+}
+
+TEST_F(CollectAgentTest, EndToEndWithRealPusherOverTcp) {
+    CollectAgent agent(
+        parse_config("global { listenTcp true ; restApi true }"),
+        cluster_.get(), meta_.get());
+
+    auto config = parse_config(
+        "global {\n"
+        "  mqttBroker 127.0.0.1:" + std::to_string(agent.mqtt_port()) + "\n"
+        "  topicPrefix /itest/node0\n"
+        "  pushInterval 100ms\n"
+        "}\n"
+        "plugins { tester { group g0 { sensors 10 ; interval 100ms } } }\n");
+    pusher::Pusher pusher(std::move(config));
+    pusher.start();
+
+    // Wait until the agent has ingested a couple of rounds.
+    for (int spin = 0; spin < 100 && agent.stats().readings < 30; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pusher.stop();
+
+    EXPECT_GE(agent.stats().readings, 30u);
+    EXPECT_EQ(agent.stats().known_sensors, 10u);
+    const auto stored = query_topic(*cluster_, agent.mapper(),
+                                    "/itest/node0/tester/g0/s0", 0,
+                                    kTimestampMax);
+    EXPECT_GE(stored.size(), 3u);
+
+    // REST API mirrors the cache.
+    const auto resp = http_get("127.0.0.1", agent.rest_port(), "/sensors");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("/itest/node0/tester/g0/s0"),
+              std::string::npos);
+    const auto stats_resp =
+        http_get("127.0.0.1", agent.rest_port(), "/stats");
+    EXPECT_NE(stats_resp.body.find("readings"), std::string::npos);
+    const auto hier = http_get("127.0.0.1", agent.rest_port(),
+                               "/hierarchy?path=/itest");
+    EXPECT_NE(hier.body.find("node0"), std::string::npos);
+}
+
+TEST_F(CollectAgentTest, QueryEndpointServesStoredSeries) {
+    CollectAgent agent(
+        parse_config("global { listenTcp false ; restApi true }"),
+        cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    client.publish("/q/s1",
+                   encode_readings({{1 * kNsPerSec, 10},
+                                    {2 * kNsPerSec, 20},
+                                    {3 * kNsPerSec, 30}}),
+                   1);
+    client.disconnect();
+
+    const auto resp = http_get(
+        "127.0.0.1", agent.rest_port(),
+        "/query?topic=/q/s1&t0=" + std::to_string(2 * kNsPerSec));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.content_type, "text/csv");
+    EXPECT_EQ(resp.body.find("1000000000,10"), std::string::npos);
+    EXPECT_NE(resp.body.find("/q/s1,2000000000,20"), std::string::npos);
+    EXPECT_NE(resp.body.find("/q/s1,3000000000,30"), std::string::npos);
+
+    EXPECT_EQ(http_get("127.0.0.1", agent.rest_port(), "/query").status,
+              400);
+    EXPECT_EQ(http_get("127.0.0.1", agent.rest_port(),
+                       "/query?topic=/q/s1&t0=abc")
+                  .status,
+              400);
+    // Unknown topic: empty body, not an error.
+    const auto empty = http_get("127.0.0.1", agent.rest_port(),
+                                "/query?topic=/nope");
+    EXPECT_EQ(empty.status, 200);
+    EXPECT_TRUE(empty.body.empty());
+}
+
+TEST_F(CollectAgentTest, ManyConcurrentPushersAllIngested) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    constexpr int kPushers = 10;
+    constexpr int kReadingsEach = 100;
+    std::vector<std::thread> threads;
+    threads.reserve(kPushers);
+    for (int p = 0; p < kPushers; ++p) {
+        threads.emplace_back([&agent, p] {
+            mqtt::MqttClient client(agent.connect_inproc(),
+                                    "p" + std::to_string(p));
+            client.connect();
+            for (int i = 0; i < kReadingsEach; ++i) {
+                client.publish(
+                    "/host" + std::to_string(p) + "/s",
+                    encode_readings({{static_cast<TimestampNs>(i + 1),
+                                      static_cast<Value>(i)}}),
+                    0);
+            }
+            client.disconnect();
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int spin = 0;
+         spin < 200 && agent.stats().readings < kPushers * kReadingsEach;
+         ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(agent.stats().readings,
+              static_cast<std::uint64_t>(kPushers) * kReadingsEach);
+    for (int p = 0; p < kPushers; ++p) {
+        EXPECT_EQ(query_topic(*cluster_, agent.mapper(),
+                              "/host" + std::to_string(p) + "/s", 0,
+                              kTimestampMax)
+                      .size(),
+                  static_cast<std::size_t>(kReadingsEach));
+    }
+}
+
+}  // namespace
+}  // namespace dcdb::collectagent

@@ -1,0 +1,324 @@
+// libDCDB tests: expressions, queries across time buckets, scaling,
+// operations (integral/derivative), virtual sensors (interpolation, unit
+// conversion, write-back caching, recursion, cycles) and CSV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/clock.hpp"
+#include "libdcdb/connection.hpp"
+#include "libdcdb/csv.hpp"
+#include "libdcdb/expression.hpp"
+#include "libdcdb/virtual_sensor.hpp"
+
+namespace dcdb::lib {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ expression
+
+double eval(const std::string& text,
+            const std::function<double(const std::string&)>& resolve =
+                [](const std::string&) { return 0.0; }) {
+    return evaluate_expression(*parse_expression(text), resolve);
+}
+
+TEST(Expression, ArithmeticPrecedence) {
+    EXPECT_DOUBLE_EQ(eval("1 + 2 * 3"), 7.0);
+    EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3"), 9.0);
+    EXPECT_DOUBLE_EQ(eval("10 / 4"), 2.5);
+    EXPECT_DOUBLE_EQ(eval("2 - 3 - 4"), -5.0);  // left associative
+    EXPECT_DOUBLE_EQ(eval("-3 + 1"), -2.0);
+    EXPECT_DOUBLE_EQ(eval("--3"), 3.0);
+}
+
+TEST(Expression, DivisionByZeroYieldsZero) {
+    EXPECT_DOUBLE_EQ(eval("5 / 0"), 0.0);
+}
+
+TEST(Expression, SensorsResolve) {
+    const auto resolve = [](const std::string& topic) {
+        return topic == "/a/power" ? 100.0 : 25.0;
+    };
+    EXPECT_DOUBLE_EQ(eval("/a/power + /b/power", resolve), 125.0);
+    EXPECT_DOUBLE_EQ(eval("/a/power / /b/power", resolve), 4.0);
+}
+
+TEST(Expression, Functions) {
+    EXPECT_DOUBLE_EQ(eval("min(3, 5)"), 3.0);
+    EXPECT_DOUBLE_EQ(eval("max(3, 5)"), 5.0);
+    EXPECT_DOUBLE_EQ(eval("abs(2 - 7)"), 5.0);
+    EXPECT_DOUBLE_EQ(eval("max(min(1, 2), 0.5)"), 1.0);
+}
+
+TEST(Expression, OperandCollection) {
+    const auto expr =
+        parse_expression("/a/p + /b/p * 2 - min(/a/p, /c/p)");
+    const auto ops = expression_operands(*expr);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0], "/a/p");
+    EXPECT_EQ(ops[2], "/c/p");
+}
+
+TEST(Expression, SyntaxErrorsThrow) {
+    EXPECT_THROW(parse_expression(""), QueryError);
+    EXPECT_THROW(parse_expression("1 +"), QueryError);
+    EXPECT_THROW(parse_expression("(1"), QueryError);
+    EXPECT_THROW(parse_expression("1 2"), QueryError);
+    EXPECT_THROW(parse_expression("foo(1)"), QueryError);
+    EXPECT_THROW(parse_expression("min(1)"), QueryError);
+}
+
+TEST(Expression, ToStringRoundTrips) {
+    const auto expr = parse_expression("/a/p + 2 * max(/b/p, 1)");
+    const auto text = expression_to_string(*expr);
+    const auto again = parse_expression(text);
+    EXPECT_EQ(expression_to_string(*again), text);
+}
+
+// ------------------------------------------------------------ connection
+
+class LibDcdbTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("dcdb_lib_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++));
+        fs::create_directories(dir_);
+        store::ClusterConfig config;
+        config.base_dir = dir_.string();
+        config.nodes = 2;
+        config.commitlog_enabled = false;
+        cluster_ = std::make_unique<store::StoreCluster>(config);
+        meta_ = std::make_unique<store::MetaStore>();
+        conn_ = std::make_unique<Connection>(*cluster_, *meta_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    /// Insert a regular series: value(t) = f(t) at `interval` spacing.
+    void insert_series(const std::string& topic, TimestampNs start,
+                       TimestampNs end, TimestampNs interval,
+                       const std::function<Value(TimestampNs)>& f) {
+        for (TimestampNs ts = start; ts <= end; ts += interval)
+            conn_->insert(topic, {ts, f(ts)});
+    }
+
+    static std::atomic<int> counter_;
+    fs::path dir_;
+    std::unique_ptr<store::StoreCluster> cluster_;
+    std::unique_ptr<store::MetaStore> meta_;
+    std::unique_ptr<Connection> conn_;
+};
+
+std::atomic<int> LibDcdbTest::counter_{0};
+
+TEST_F(LibDcdbTest, InsertAndQueryRaw) {
+    insert_series("/sys/n0/power", kNsPerSec, 10 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs ts) {
+                      return static_cast<Value>(ts / kNsPerSec * 100);
+                  });
+    const auto rows = conn_->query_raw("/sys/n0/power", 3 * kNsPerSec,
+                                       7 * kNsPerSec);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows[0].value, 300);
+    EXPECT_EQ(rows[4].value, 700);
+}
+
+TEST_F(LibDcdbTest, QueryUnknownSensorIsEmpty) {
+    EXPECT_TRUE(conn_->query_raw("/no/such", 0, kTimestampMax).empty());
+    EXPECT_TRUE(conn_->query("/no/such", 0, kTimestampMax).empty());
+}
+
+TEST_F(LibDcdbTest, QueryAcrossBucketBoundary) {
+    // Data straddling a day-bucket boundary must come back whole.
+    const TimestampNs boundary = 3 * kBucketWidthNs;
+    insert_series("/sys/n0/temp", boundary - 5 * kNsPerSec,
+                  boundary + 5 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 42; });
+    const auto rows = conn_->query_raw("/sys/n0/temp",
+                                       boundary - 10 * kNsPerSec,
+                                       boundary + 10 * kNsPerSec);
+    EXPECT_EQ(rows.size(), 11u);
+}
+
+TEST_F(LibDcdbTest, PhysicalQueryAppliesScale) {
+    conn_->insert("/sys/n0/power", {kNsPerSec, 250000});  // mW
+    SensorMetadata md;
+    md.topic = "/sys/n0/power";
+    md.unit = "mW";
+    md.scale = 0.001;  // store milli, report unit-scaled
+    conn_->metadata().publish(md);
+    const auto series = conn_->query("/sys/n0/power", 0, kTimestampMax);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].value, 250.0);
+}
+
+TEST_F(LibDcdbTest, IntegralOfConstantPower) {
+    // 100 W for 60 seconds = 6000 J.
+    insert_series("/sys/n0/power", 0, 60 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 100; });
+    EXPECT_NEAR(conn_->integral("/sys/n0/power", 0, 60 * kNsPerSec), 6000.0,
+                1e-6);
+}
+
+TEST_F(LibDcdbTest, DerivativeOfLinearSeries) {
+    // value = 10 * seconds -> derivative 10/s.
+    insert_series("/c", 0, 10 * kNsPerSec, kNsPerSec, [](TimestampNs ts) {
+        return static_cast<Value>(ts / kNsPerSec * 10);
+    });
+    const auto deriv = conn_->derivative("/c", 0, kTimestampMax);
+    ASSERT_EQ(deriv.size(), 10u);
+    for (const auto& s : deriv) EXPECT_NEAR(s.value, 10.0, 1e-9);
+}
+
+TEST_F(LibDcdbTest, ListSensorsRespectsPrefix) {
+    conn_->insert("/a/b/s1", {1, 1});
+    conn_->insert("/a/b/s2", {1, 1});
+    conn_->insert("/a/c/s3", {1, 1});
+    EXPECT_EQ(conn_->list_sensors().size(), 3u);
+    EXPECT_EQ(conn_->list_sensors("/a/b").size(), 2u);
+    EXPECT_EQ(conn_->list_sensors("/a/bb").size(), 0u);
+}
+
+TEST(Interpolation, LinearBetweenAndClampedOutside) {
+    const std::vector<Sample> series = {{100, 1.0}, {200, 3.0}};
+    EXPECT_DOUBLE_EQ(interpolate_at(series, 150), 2.0);
+    EXPECT_DOUBLE_EQ(interpolate_at(series, 100), 1.0);
+    EXPECT_DOUBLE_EQ(interpolate_at(series, 50), 1.0);   // clamp left
+    EXPECT_DOUBLE_EQ(interpolate_at(series, 500), 3.0);  // clamp right
+    EXPECT_THROW(interpolate_at({}, 0), QueryError);
+}
+
+// -------------------------------------------------------- virtual sensor
+
+TEST_F(LibDcdbTest, VirtualSensorSumsNodePowers) {
+    // The paper's canonical virtual-sensor example: aggregate per-node
+    // power into a system total.
+    insert_series("/sys/n0/power", kNsPerSec, 10 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 100; });
+    insert_series("/sys/n1/power", kNsPerSec, 10 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 150; });
+    conn_->define_virtual("/sys/total_power",
+                          "/sys/n0/power + /sys/n1/power", "W");
+    const auto series =
+        conn_->query("/sys/total_power", 0, 20 * kNsPerSec);
+    ASSERT_EQ(series.size(), 10u);
+    for (const auto& s : series) EXPECT_DOUBLE_EQ(s.value, 250.0);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorConvertsUnits) {
+    // One operand in mW, one in kW: both must convert to watts.
+    conn_->insert("/a/p1", {kNsPerSec, 500000});  // 500000 mW = 500 W
+    SensorMetadata md1;
+    md1.topic = "/a/p1";
+    md1.unit = "mW";
+    conn_->metadata().publish(md1);
+
+    conn_->insert("/a/p2", {kNsPerSec, 2});  // 2 kW
+    SensorMetadata md2;
+    md2.topic = "/a/p2";
+    md2.unit = "kW";
+    conn_->metadata().publish(md2);
+
+    conn_->define_virtual("/a/total", "/a/p1 + /a/p2", "W");
+    const auto series = conn_->query("/a/total", 0, kTimestampMax);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].value, 2500.0);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorInterpolatesMixedRates) {
+    // 1 Hz power, 0.2 Hz temperature: evaluation runs on the denser grid
+    // with the sparse series linearly interpolated.
+    insert_series("/m/power", 0, 20 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 100; });
+    insert_series("/m/flow", 0, 20 * kNsPerSec, 5 * kNsPerSec,
+                  [](TimestampNs ts) {
+                      return static_cast<Value>(ts / kNsPerSec);
+                  });
+    conn_->define_virtual("/m/combo", "/m/power + /m/flow", "");
+    const auto series = conn_->query("/m/combo", 0, 20 * kNsPerSec);
+    ASSERT_EQ(series.size(), 21u);
+    // At t=7s flow interpolates between 5 (t=5) and 10 (t=10) -> 7.
+    EXPECT_NEAR(series[7].value, 107.0, 1e-9);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorWritesBackForReuse) {
+    insert_series("/w/a", kNsPerSec, 5 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 10; });
+    conn_->define_virtual("/w/double", "/w/a * 2", "");
+    const auto first = conn_->query("/w/double", 0, 10 * kNsPerSec);
+    ASSERT_EQ(first.size(), 5u);
+
+    // Results must now be materialized in the store.
+    const auto cached_raw =
+        conn_->query_raw("/w/double", 0, 10 * kNsPerSec);
+    EXPECT_EQ(cached_raw.size(), 5u);
+
+    // A repeat query returns identical values (served from the cache).
+    const auto second = conn_->query("/w/double", 0, 10 * kNsPerSec);
+    EXPECT_EQ(first, second);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorOfVirtualSensor) {
+    insert_series("/v/a", kNsPerSec, 5 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 3; });
+    conn_->define_virtual("/v/b", "/v/a * 2", "");
+    conn_->define_virtual("/v/c", "/v/b + 1", "");
+    const auto series = conn_->query("/v/c", 0, 10 * kNsPerSec);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series[0].value, 7.0);
+}
+
+TEST_F(LibDcdbTest, CyclicVirtualSensorsThrow) {
+    conn_->insert("/cy/seed", {kNsPerSec, 1});
+    conn_->define_virtual("/cy/a", "/cy/b + 1", "");
+    conn_->define_virtual("/cy/b", "/cy/a + 1", "");
+    EXPECT_THROW(conn_->query("/cy/a", 0, kTimestampMax), QueryError);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorScaleQuantizesResults) {
+    conn_->insert("/q/a", {kNsPerSec, 1});
+    conn_->insert("/q/b", {kNsPerSec, 3});
+    // Ratio 1/3 stored with milli-precision.
+    conn_->define_virtual("/q/ratio", "/q/a / /q/b", "", 0.001);
+    const auto series = conn_->query("/q/ratio", 0, kTimestampMax);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_NEAR(series[0].value, 0.333, 1e-9);
+}
+
+TEST_F(LibDcdbTest, VirtualSensorEmptyOperandYieldsEmpty) {
+    conn_->define_virtual("/e/v", "/e/missing * 2", "");
+    EXPECT_TRUE(conn_->query("/e/v", 0, kTimestampMax).empty());
+}
+
+TEST_F(LibDcdbTest, DefineVirtualValidatesExpression) {
+    EXPECT_THROW(conn_->define_virtual("/bad", "1 +", ""), QueryError);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST_F(LibDcdbTest, CsvRoundTripThroughStore) {
+    const std::string csv =
+        "/imp/s1,1000000000,42\n"
+        "/imp/s1,2000000000,43\n"
+        "# comment line\n"
+        "/imp/s2,1000000000,-7\n";
+    EXPECT_EQ(import_csv(*conn_, csv), 3u);
+    const auto s1 = conn_->query_raw("/imp/s1", 0, kTimestampMax);
+    ASSERT_EQ(s1.size(), 2u);
+    EXPECT_EQ(s1[1].value, 43);
+    const auto out = readings_to_csv("/imp/s1", s1);
+    EXPECT_NE(out.find("/imp/s1,1000000000,42"), std::string::npos);
+}
+
+TEST_F(LibDcdbTest, CsvParserRejectsMalformedRows) {
+    EXPECT_THROW(parse_csv("/t,123\n"), QueryError);
+    EXPECT_THROW(parse_csv("/t,abc,1\n"), QueryError);
+    EXPECT_THROW(parse_csv("/t,1,xyz\n"), QueryError);
+    EXPECT_TRUE(parse_csv("\n\n# only comments\n").empty());
+}
+
+}  // namespace
+}  // namespace dcdb::lib

@@ -1,0 +1,398 @@
+// Property-based tests: randomized workloads checked against reference
+// models, parameterized over seeds (TEST_P / INSTANTIATE_TEST_SUITE_P).
+// These hunt for invariant violations that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/sensor_cache.hpp"
+#include "core/sensor_id.hpp"
+#include "libdcdb/expression.hpp"
+#include "mqtt/packet.hpp"
+#include "mqtt/topic.hpp"
+#include "store/node.hpp"
+
+namespace dcdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {
+  protected:
+    std::uint64_t seed() const { return GetParam(); }
+};
+
+// =============================================================== storage
+
+class StoreProperty : public Seeded {};
+
+// The storage node must behave exactly like a map<ts, value> per key,
+// regardless of how inserts interleave with flushes, compactions and
+// restarts.
+TEST_P(StoreProperty, RandomWorkloadMatchesReferenceModel) {
+    const auto dir = fs::temp_directory_path() /
+                     ("dcdb_prop_store_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(seed()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    Rng rng(seed());
+    using Model = std::map<store::Key, std::map<TimestampNs, Value>>;
+    Model model;
+
+    auto random_key = [&rng] {
+        store::Key k;
+        k.sid[0] = static_cast<std::uint8_t>(rng.below(4));  // few partitions
+        k.bucket = static_cast<std::uint32_t>(rng.below(2));
+        return k;
+    };
+
+    auto node = std::make_unique<store::StorageNode>(
+        store::NodeConfig{dir.string(), 16u << 10, true});
+
+    for (int op = 0; op < 2000; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.80) {
+            const store::Key key = random_key();
+            const TimestampNs ts = 1 + rng.below(500);
+            const Value value = static_cast<Value>(rng.next_u64() % 1000);
+            node->insert(key, ts, value);
+            model[key][ts] = value;
+        } else if (dice < 0.88) {
+            node->flush();
+        } else if (dice < 0.93) {
+            node->compact();
+        } else {
+            // Crash-free restart: everything must survive via commit log
+            // and SSTables.
+            node.reset();
+            node = std::make_unique<store::StorageNode>(
+                store::NodeConfig{dir.string(), 16u << 10, true});
+        }
+
+        // Spot-check a random range query against the model.
+        if (op % 97 == 0) {
+            const store::Key key = random_key();
+            TimestampNs lo = rng.below(500), hi = rng.below(500);
+            if (lo > hi) std::swap(lo, hi);
+            const auto got = node->query(key, lo, hi);
+            std::vector<std::pair<TimestampNs, Value>> expect;
+            for (const auto& [ts, v] : model[key]) {
+                if (ts >= lo && ts <= hi) expect.emplace_back(ts, v);
+            }
+            ASSERT_EQ(got.size(), expect.size())
+                << "op " << op << " range [" << lo << "," << hi << "]";
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].ts, expect[i].first);
+                EXPECT_EQ(got[i].value, expect[i].second);
+            }
+        }
+    }
+
+    // Final full verification of every partition.
+    for (const auto& [key, rows] : model) {
+        const auto got = node->query(key, 0, kTimestampMax);
+        ASSERT_EQ(got.size(), rows.size());
+        auto it = rows.begin();
+        for (const auto& row : got) {
+            EXPECT_EQ(row.ts, it->first);
+            EXPECT_EQ(row.value, it->second);
+            ++it;
+        }
+    }
+    node.reset();
+    fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ================================================================== MQTT
+
+class MqttCodecProperty : public Seeded {};
+
+mqtt::Packet random_packet(Rng& rng) {
+    switch (rng.below(6)) {
+        case 0: {
+            mqtt::Connect c;
+            c.client_id = "client" + std::to_string(rng.below(100000));
+            c.keepalive_s = static_cast<std::uint16_t>(rng.below(65536));
+            c.clean_session = rng.below(2) == 0;
+            return c;
+        }
+        case 1: {
+            mqtt::Publish p;
+            const int levels = 1 + static_cast<int>(rng.below(7));
+            for (int i = 0; i < levels; ++i)
+                p.topic += "/l" + std::to_string(rng.below(50));
+            p.qos = static_cast<std::uint8_t>(rng.below(2));
+            if (p.qos)
+                p.packet_id =
+                    static_cast<std::uint16_t>(1 + rng.below(65535));
+            p.retain = rng.below(2) == 0;
+            const std::size_t n = rng.below(300);
+            p.payload.resize(n);
+            for (auto& b : p.payload)
+                b = static_cast<std::uint8_t>(rng.below(256));
+            return p;
+        }
+        case 2:
+            return mqtt::Puback{
+                static_cast<std::uint16_t>(1 + rng.below(65535))};
+        case 3: {
+            mqtt::Subscribe s;
+            s.packet_id = static_cast<std::uint16_t>(1 + rng.below(65535));
+            const int n = 1 + static_cast<int>(rng.below(4));
+            for (int i = 0; i < n; ++i)
+                s.filters.emplace_back("/f" + std::to_string(rng.below(50)) +
+                                           (rng.below(2) ? "/#" : "/+"),
+                                       static_cast<std::uint8_t>(rng.below(2)));
+            return s;
+        }
+        case 4: {
+            mqtt::Suback s;
+            s.packet_id = static_cast<std::uint16_t>(1 + rng.below(65535));
+            const int n = 1 + static_cast<int>(rng.below(4));
+            for (int i = 0; i < n; ++i)
+                s.return_codes.push_back(rng.below(2) ? 0x00 : 0x80);
+            return s;
+        }
+        default:
+            return mqtt::Pingreq{};
+    }
+}
+
+TEST_P(MqttCodecProperty, EncodeDecodeRoundTripsArbitraryPackets) {
+    Rng rng(seed());
+    for (int i = 0; i < 500; ++i) {
+        const mqtt::Packet original = random_packet(rng);
+        const auto bytes = mqtt::encode(original);
+        ByteReader r(bytes);
+        const std::uint8_t first = r.u8();
+        const std::uint32_t remaining = r.varint();
+        ASSERT_EQ(r.remaining(), remaining) << "length field must be exact";
+        const mqtt::Packet decoded = mqtt::decode(first, r.bytes(remaining));
+        ASSERT_EQ(mqtt::packet_type(decoded), mqtt::packet_type(original));
+        if (const auto* p = std::get_if<mqtt::Publish>(&original)) {
+            const auto& q = std::get<mqtt::Publish>(decoded);
+            EXPECT_EQ(q.topic, p->topic);
+            EXPECT_EQ(q.payload, p->payload);
+            EXPECT_EQ(q.qos, p->qos);
+            EXPECT_EQ(q.retain, p->retain);
+            if (p->qos) EXPECT_EQ(q.packet_id, p->packet_id);
+        }
+    }
+}
+
+TEST_P(MqttCodecProperty, DecoderNeverCrashesOnFuzzedBytes) {
+    Rng rng(seed() * 31 + 7);
+    for (int i = 0; i < 3000; ++i) {
+        std::vector<std::uint8_t> junk(rng.below(64));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+        const std::uint8_t first = static_cast<std::uint8_t>(rng.below(256));
+        try {
+            (void)mqtt::decode(first, junk);
+        } catch (const ProtocolError&) {
+            // Rejecting malformed input is the expected outcome.
+        }
+    }
+    SUCCEED();
+}
+
+TEST_P(MqttCodecProperty, TopicMatchReflexiveAndHashSupersetOfPlus) {
+    Rng rng(seed() * 131 + 3);
+    for (int i = 0; i < 300; ++i) {
+        std::string topic;
+        const int levels = 1 + static_cast<int>(rng.below(6));
+        for (int l = 0; l < levels; ++l)
+            topic += "/t" + std::to_string(rng.below(9));
+        // Every valid topic matches itself.
+        EXPECT_TRUE(topic_matches(topic, topic));
+        // Replacing any one level with '+' still matches.
+        auto parts = topic_levels(topic);
+        const std::size_t idx = 1 + rng.below(parts.size() - 1);
+        parts[idx] = "+";
+        std::string plus;
+        for (std::size_t l = 1; l < parts.size(); ++l) plus += "/" + parts[l];
+        EXPECT_TRUE(topic_matches(plus, topic)) << plus << " vs " << topic;
+        // Truncating at any level and appending '#' matches.
+        std::string hash;
+        for (std::size_t l = 1; l <= idx; ++l) hash += "/" + parts[l] ;
+        hash = hash.substr(0, hash.rfind('/')) + "/#";
+        EXPECT_TRUE(topic_matches(hash, topic)) << hash << " vs " << topic;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MqttCodecProperty,
+                         ::testing::Values(11, 12, 13, 14));
+
+// ========================================================== sensor cache
+
+class CacheProperty : public Seeded {};
+
+TEST_P(CacheProperty, MatchesReferenceDequeSemantics) {
+    Rng rng(seed());
+    SensorCache cache(50 * kNsPerSec, kNsPerSec);
+    std::vector<Reading> reference;  // all readings ever pushed, in order
+
+    TimestampNs ts = 0;
+    for (int i = 0; i < 3000; ++i) {
+        ts += 1 + rng.below(3 * kNsPerSec);
+        const Reading r{ts, static_cast<Value>(rng.next_u64() % 100000)};
+        cache.push(r);
+        reference.push_back(r);
+
+        ASSERT_TRUE(cache.latest().has_value());
+        EXPECT_EQ(*cache.latest(), reference.back());
+
+        if (i % 53 == 0) {
+            // Every reading within the window must be present.
+            const TimestampNs cutoff =
+                ts >= 50 * kNsPerSec ? ts - 50 * kNsPerSec : 0;
+            const auto view = cache.view(cutoff, ts);
+            std::vector<Reading> expect;
+            for (const auto& x : reference) {
+                if (x.ts >= cutoff) expect.push_back(x);
+            }
+            ASSERT_EQ(view.size(), expect.size()) << "at push " << i;
+            EXPECT_EQ(view, expect);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+// =========================================================== expressions
+
+class ExpressionProperty : public Seeded {};
+
+lib::ExprPtr random_expr(Rng& rng, int depth) {
+    auto node = std::make_unique<lib::ExprNode>();
+    if (depth <= 0 || rng.below(3) == 0) {
+        if (rng.below(2) == 0) {
+            node->kind = lib::ExprNode::Kind::kNumber;
+            node->number = rng.uniform(-100.0, 100.0);
+        } else {
+            node->kind = lib::ExprNode::Kind::kSensor;
+            node->name = "/s/t" + std::to_string(rng.below(5));
+        }
+        return node;
+    }
+    switch (rng.below(3)) {
+        case 0:
+            node->kind = lib::ExprNode::Kind::kUnary;
+            node->op = '-';
+            node->lhs = random_expr(rng, depth - 1);
+            return node;
+        case 1: {
+            node->kind = lib::ExprNode::Kind::kCall;
+            node->name = rng.below(2) ? "min" : "max";
+            node->args.push_back(random_expr(rng, depth - 1));
+            node->args.push_back(random_expr(rng, depth - 1));
+            return node;
+        }
+        default: {
+            static const char ops[] = {'+', '-', '*', '/'};
+            node->kind = lib::ExprNode::Kind::kBinary;
+            node->op = ops[rng.below(4)];
+            node->lhs = random_expr(rng, depth - 1);
+            node->rhs = random_expr(rng, depth - 1);
+            return node;
+        }
+    }
+}
+
+TEST_P(ExpressionProperty, PrintParseEvaluateFixpoint) {
+    Rng rng(seed());
+    const auto resolve = [](const std::string& topic) {
+        return static_cast<double>(topic.back() - '0') * 7.5 + 1.0;
+    };
+    for (int i = 0; i < 300; ++i) {
+        const auto expr = random_expr(rng, 4);
+        const std::string text = lib::expression_to_string(*expr);
+        const auto reparsed = lib::parse_expression(text);
+        const double a = lib::evaluate_expression(*expr, resolve);
+        const double b = lib::evaluate_expression(*reparsed, resolve);
+        if (std::isfinite(a) && std::abs(a) < 1e12) {
+            // to_string prints ~6 significant digits for literals, so
+            // allow relative slack.
+            EXPECT_NEAR(b, a, std::abs(a) * 1e-4 + 1e-4) << text;
+        }
+        // Operand extraction is stable across the round trip.
+        EXPECT_EQ(lib::expression_operands(*reparsed),
+                  lib::expression_operands(*expr));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionProperty,
+                         ::testing::Values(31, 32, 33));
+
+// ================================================================= units
+
+class UnitProperty : public Seeded {};
+
+TEST_P(UnitProperty, ConversionRoundTripsWithinDimension) {
+    Rng rng(seed());
+    static const char* kGroups[][5] = {
+        {"uW", "mW", "W", "kW", "MW"},
+        {"C", "degC", "mC", "K", "F"},
+        {"B", "KB", "MB", "KiB", "MiB"},
+        {"ns", "us", "ms", "s", "min"},
+        {"uJ", "mJ", "J", "Wh", "kWh"},
+    };
+    for (int i = 0; i < 1000; ++i) {
+        const auto& group = kGroups[rng.below(std::size(kGroups))];
+        const Unit a = parse_unit(group[rng.below(5)]);
+        const Unit b = parse_unit(group[rng.below(5)]);
+        const double value = rng.uniform(-1e6, 1e6);
+        const double there = convert_unit(value, a, b);
+        const double back = convert_unit(there, b, a);
+        EXPECT_NEAR(back, value, std::abs(value) * 1e-9 + 1e-9)
+            << a.name << " -> " << b.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitProperty, ::testing::Values(41, 42));
+
+// =========================================================== SID mapping
+
+class SidProperty : public Seeded {};
+
+TEST_P(SidProperty, RandomTopicSetStaysBijective) {
+    Rng rng(seed());
+    store::MetaStore meta;
+    TopicMapper mapper(meta);
+    std::map<std::string, SensorId> assigned;
+    std::map<std::string, std::string> hex_to_topic;
+
+    for (int i = 0; i < 1500; ++i) {
+        std::string topic;
+        const int levels = 1 + static_cast<int>(rng.below(8));
+        for (int l = 0; l < levels; ++l)
+            topic += "/c" + std::to_string(rng.below(12));
+
+        const SensorId sid = mapper.to_sid(topic);
+        const auto known = assigned.find(topic);
+        if (known != assigned.end()) {
+            EXPECT_EQ(sid, known->second) << "mapping must be stable";
+        } else {
+            assigned[topic] = sid;
+            const auto clash = hex_to_topic.find(sid.hex());
+            ASSERT_TRUE(clash == hex_to_topic.end())
+                << "SID collision: " << topic << " vs " << clash->second;
+            hex_to_topic[sid.hex()] = topic;
+        }
+        EXPECT_EQ(mapper.to_topic(sid), topic);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SidProperty, ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace dcdb

@@ -1,0 +1,341 @@
+// Tests for the Pusher framework: sensors, groups, the sampler's aligned
+// scheduling, the MQTT push path, the REST API and plugin lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "core/payload.hpp"
+#include "mqtt/broker.hpp"
+#include "net/http.hpp"
+#include "pusher/pusher.hpp"
+#include "pusher/sampler.hpp"
+#include "pusher/sensor_base.hpp"
+#include "pusher/sensor_group.hpp"
+
+namespace dcdb::pusher {
+namespace {
+
+TEST(SensorBase, TopicIsNormalized) {
+    SensorBase s("power", "node0//power/");
+    EXPECT_EQ(s.topic(), "/node0/power");
+}
+
+TEST(SensorBase, PendingAccumulatesAndDrains) {
+    SensorBase s("x", "/t/x");
+    s.store_reading({1, 10}, nullptr, kNsPerSec);
+    s.store_reading({2, 20}, nullptr, kNsPerSec);
+    EXPECT_EQ(s.pending_count(), 2u);
+    const auto drained = s.drain_pending();
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[1].value, 20);
+    EXPECT_EQ(s.pending_count(), 0u);
+    ASSERT_TRUE(s.latest().has_value());
+    EXPECT_EQ(s.latest()->value, 20);
+}
+
+TEST(SensorBase, DeltaModePublishesDifferences) {
+    SensorBase s("ctr", "/t/ctr");
+    s.set_delta(true);
+    s.store_reading({1, 1000}, nullptr, kNsPerSec);  // baseline, swallowed
+    s.store_reading({2, 1500}, nullptr, kNsPerSec);
+    s.store_reading({3, 1800}, nullptr, kNsPerSec);
+    const auto drained = s.drain_pending();
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].value, 500);
+    EXPECT_EQ(drained[1].value, 300);
+}
+
+TEST(SensorBase, ReadingsMirroredIntoCache) {
+    CacheSet cache(60 * kNsPerSec);
+    SensorBase s("x", "/t/x");
+    s.store_reading({5, 55}, &cache, kNsPerSec);
+    ASSERT_TRUE(cache.latest("/t/x").has_value());
+    EXPECT_EQ(cache.latest("/t/x")->value, 55);
+}
+
+namespace {
+
+class CountingGroup final : public SensorGroup {
+  public:
+    CountingGroup(std::string name, TimestampNs interval)
+        : SensorGroup(std::move(name), interval) {}
+
+    std::vector<TimestampNs> timestamps;
+
+  protected:
+    bool do_read(TimestampNs ts, std::vector<Value>& out) override {
+        timestamps.push_back(ts);
+        for (auto& v : out) v = static_cast<Value>(ts);
+        return true;
+    }
+};
+
+class FailingGroup final : public SensorGroup {
+  public:
+    using SensorGroup::SensorGroup;
+
+  protected:
+    bool do_read(TimestampNs, std::vector<Value>&) override {
+        throw std::runtime_error("backend unavailable");
+    }
+};
+
+}  // namespace
+
+TEST(SensorGroup, ReadAllStampsAllSensorsIdentically) {
+    CountingGroup group("g", kNsPerSec);
+    group.add_sensor(std::make_unique<SensorBase>("a", "/t/a"));
+    group.add_sensor(std::make_unique<SensorBase>("b", "/t/b"));
+    group.read_all(42, nullptr);
+    EXPECT_EQ(group.sensors()[0]->latest()->ts, 42u);
+    EXPECT_EQ(group.sensors()[1]->latest()->ts, 42u);
+    EXPECT_EQ(group.reads_performed(), 1u);
+}
+
+TEST(SensorGroup, DisabledGroupSkipsReads) {
+    CountingGroup group("g", kNsPerSec);
+    group.add_sensor(std::make_unique<SensorBase>("a", "/t/a"));
+    group.set_enabled(false);
+    group.read_all(42, nullptr);
+    EXPECT_EQ(group.reads_performed(), 0u);
+    EXPECT_FALSE(group.sensors()[0]->latest().has_value());
+}
+
+TEST(SensorGroup, ExceptionInReadIsContained) {
+    FailingGroup group("g", kNsPerSec);
+    group.add_sensor(std::make_unique<SensorBase>("a", "/t/a"));
+    EXPECT_NO_THROW(group.read_all(42, nullptr));
+    EXPECT_EQ(group.reads_performed(), 0u);
+}
+
+TEST(Sampler, SamplesAtAlignedTimestamps) {
+    CacheSet cache(60 * kNsPerSec);
+    Sampler sampler(2, &cache);
+    CountingGroup group("g", 100 * kNsPerMs);
+    group.add_sensor(std::make_unique<SensorBase>("a", "/t/a"));
+    sampler.add_group(&group);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(550));
+    sampler.stop();
+
+    ASSERT_GE(group.timestamps.size(), 3u);
+    for (const auto ts : group.timestamps)
+        EXPECT_EQ(ts % (100 * kNsPerMs), 0u)
+            << "deadlines must be aligned to the interval";
+    // Consecutive deadlines are exactly one interval apart.
+    for (std::size_t i = 1; i < group.timestamps.size(); ++i)
+        EXPECT_EQ(group.timestamps[i] - group.timestamps[i - 1],
+                  100 * kNsPerMs);
+}
+
+TEST(Sampler, MultipleGroupsWithDifferentIntervals) {
+    Sampler sampler(2, nullptr);
+    CountingGroup fast("fast", 50 * kNsPerMs);
+    fast.add_sensor(std::make_unique<SensorBase>("a", "/t/fa"));
+    CountingGroup slow("slow", 200 * kNsPerMs);
+    slow.add_sensor(std::make_unique<SensorBase>("a", "/t/sa"));
+    sampler.add_group(&fast);
+    sampler.add_group(&slow);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(650));
+    sampler.stop();
+    EXPECT_GT(fast.timestamps.size(), 2 * slow.timestamps.size());
+    EXPECT_GE(slow.timestamps.size(), 2u);
+}
+
+TEST(Sampler, RemovedGroupStopsFiring) {
+    Sampler sampler(1, nullptr);
+    CountingGroup group("g", 50 * kNsPerMs);
+    group.add_sensor(std::make_unique<SensorBase>("a", "/t/a"));
+    sampler.add_group(&group);
+    sampler.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    sampler.remove_groups({&group});
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto count = group.timestamps.size();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_EQ(group.timestamps.size(), count);
+    sampler.stop();
+}
+
+// ---------------------------------------------------------------- Pusher
+
+ConfigNode tester_config(int sensors, const std::string& interval,
+                         bool rest = false) {
+    return parse_config(
+        "global {\n"
+        "    topicPrefix /test/node0\n"
+        "    threads 2\n"
+        "    pushInterval 100ms\n"
+        "    restApi " + std::string(rest ? "true" : "false") + "\n"
+        "}\n"
+        "plugins {\n"
+        "    tester {\n"
+        "        group g0 { sensors " + std::to_string(sensors) +
+        " ; interval " + interval + " }\n"
+        "    }\n"
+        "}\n");
+}
+
+TEST(Pusher, EndToEndThroughInprocBroker) {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<mqtt::Publish> messages;
+    mqtt::MqttBroker broker(
+        mqtt::BrokerMode::kReduced,
+        [&](const mqtt::Publish& p) {
+            std::scoped_lock lock(mutex);
+            messages.push_back(p);
+            cv.notify_all();
+        },
+        0, /*listen_tcp=*/false);
+
+    Pusher pusher(tester_config(5, "100ms"), broker.connect_inproc());
+    pusher.start();
+    {
+        std::unique_lock lock(mutex);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                                [&] { return messages.size() >= 5; }));
+    }
+    pusher.stop();
+
+    std::scoped_lock lock(mutex);
+    bool found = false;
+    for (const auto& m : messages) {
+        EXPECT_TRUE(m.topic.starts_with("/test/node0/tester/g0/"));
+        const auto readings = decode_readings(m.payload);
+        EXPECT_FALSE(readings.empty());
+        for (const auto& r : readings)
+            EXPECT_EQ(r.ts % (100 * kNsPerMs), 0u);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+    const auto stats = pusher.stats();
+    EXPECT_EQ(stats.sensors, 5u);
+    EXPECT_GT(stats.readings_pushed, 0u);
+}
+
+TEST(Pusher, CacheOnlyOperationWithoutBroker) {
+    Pusher pusher(tester_config(3, "50ms"));
+    pusher.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    pusher.stop();
+    EXPECT_EQ(pusher.cache().sensor_count(), 3u);
+    EXPECT_TRUE(pusher.cache()
+                    .latest("/test/node0/tester/g0/s0")
+                    .has_value());
+}
+
+TEST(Pusher, RestApiServesSensorsAndPlugins) {
+    Pusher pusher(tester_config(2, "50ms", /*rest=*/true));
+    pusher.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const auto port = pusher.rest_port();
+    ASSERT_GT(port, 0);
+
+    const auto sensors = http_get("127.0.0.1", port, "/sensors");
+    EXPECT_EQ(sensors.status, 200);
+    EXPECT_NE(sensors.body.find("/test/node0/tester/g0/s0"),
+              std::string::npos);
+
+    const auto one =
+        http_get("127.0.0.1", port, "/sensors/test/node0/tester/g0/s0");
+    EXPECT_EQ(one.status, 200);
+
+    const auto avg = http_get("127.0.0.1", port,
+                              "/sensors/test/node0/tester/g0/s0?avg=60");
+    EXPECT_EQ(avg.status, 200);
+
+    const auto plugins = http_get("127.0.0.1", port, "/plugins");
+    EXPECT_NE(plugins.body.find("tester running 2 sensors"),
+              std::string::npos);
+
+    const auto config = http_get("127.0.0.1", port, "/config");
+    EXPECT_NE(config.body.find("topicPrefix"), std::string::npos);
+
+    EXPECT_EQ(http_get("127.0.0.1", port, "/nope").status, 404);
+    pusher.stop();
+}
+
+TEST(Pusher, RestStartStopControlsSampling) {
+    Pusher pusher(tester_config(1, "50ms", /*rest=*/true));
+    pusher.start();
+    const auto port = pusher.rest_port();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    EXPECT_EQ(http_request("127.0.0.1", port, "PUT",
+                           "/plugins/tester/stop")
+                  .status,
+              200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto samples_when_stopped = pusher.stats().samples_taken;
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    // The sampler still fires but the disabled group performs no reads.
+    EXPECT_EQ(pusher.plugins()[0]->groups()[0]->reads_performed(),
+              pusher.plugins()[0]->groups()[0]->reads_performed());
+    EXPECT_FALSE(pusher.plugins()[0]->running());
+
+    EXPECT_EQ(http_request("127.0.0.1", port, "PUT",
+                           "/plugins/tester/start")
+                  .status,
+              200);
+    EXPECT_TRUE(pusher.plugins()[0]->running());
+    (void)samples_when_stopped;
+
+    EXPECT_EQ(http_request("127.0.0.1", port, "PUT",
+                           "/plugins/nosuch/start")
+                  .status,
+              404);
+    pusher.stop();
+}
+
+TEST(Pusher, ReloadRebuildsPluginFromConfig) {
+    Pusher pusher(tester_config(2, "50ms"));
+    pusher.start();
+    EXPECT_EQ(pusher.stats().sensors, 2u);
+    // In-memory config: reload re-applies the same subtree.
+    pusher.reload_plugin("tester");
+    EXPECT_EQ(pusher.stats().sensors, 2u);
+    EXPECT_THROW(pusher.reload_plugin("nosuch"), ConfigError);
+    pusher.stop();
+}
+
+TEST(Pusher, ReloadFromFilePicksUpChanges) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "dcdb_pusher_reload.conf").string();
+    auto write_config = [&](int sensors) {
+        std::ofstream out(path);
+        out << "global { topicPrefix /test/n0 }\n"
+            << "plugins { tester { group g0 { sensors " << sensors
+            << " ; interval 1s } } }\n";
+    };
+    write_config(2);
+    auto pusher = Pusher::from_file(path);
+    EXPECT_EQ(pusher->stats().sensors, 2u);
+    write_config(7);
+    pusher->reload_plugin("tester");
+    EXPECT_EQ(pusher->stats().sensors, 7u);
+    fs::remove(path);
+}
+
+TEST(Pusher, BadBrokerAddressThrows) {
+    auto config = parse_config(
+        "global { mqttBroker not-an-address }\n"
+        "plugins { tester { group g { sensors 1 } } }\n");
+    EXPECT_THROW(Pusher pusher(std::move(config)), ConfigError);
+}
+
+TEST(Pusher, UnknownPluginNameThrows) {
+    auto config = parse_config("plugins { warpdrive { } }\n");
+    EXPECT_THROW(Pusher pusher(std::move(config)), ConfigError);
+}
+
+}  // namespace
+}  // namespace dcdb::pusher

@@ -1,0 +1,676 @@
+// Tests for the wide-column store substrate: murmur hashing, bloom
+// filters, partitioners, memtable, SSTables, commit log, storage node and
+// the multi-node cluster (replication, locality, TTL, compaction,
+// crash recovery).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "store/bloom.hpp"
+#include "store/cluster.hpp"
+#include "store/commitlog.hpp"
+#include "store/memtable.hpp"
+#include "store/metastore.hpp"
+#include "store/murmur.hpp"
+#include "store/node.hpp"
+#include "store/partitioner.hpp"
+#include "store/sstable.hpp"
+
+namespace dcdb::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+  public:
+    TempDir() {
+        static std::atomic<int> counter{0};
+        path_ = fs::temp_directory_path() /
+                ("dcdb_store_test_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter.fetch_add(1)));
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+Key make_key(std::uint8_t tag, std::uint32_t bucket = 0) {
+    Key k;
+    k.sid.fill(0);
+    k.sid[0] = tag;
+    k.sid[15] = tag;
+    k.bucket = bucket;
+    return k;
+}
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+    return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// ---------------------------------------------------------------- murmur
+
+TEST(Murmur, DeterministicAndSeedSensitive) {
+    const std::string data = "the quick brown fox";
+    const auto a = murmur3_x64_128(bytes_of(data));
+    const auto b = murmur3_x64_128(bytes_of(data));
+    const auto c = murmur3_x64_128(bytes_of(data), 1);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Murmur, AllTailLengthsDiffer) {
+    // Exercise every switch-case tail path (lengths 0..16).
+    std::set<std::uint64_t> seen;
+    std::string s;
+    for (int len = 0; len <= 16; ++len) {
+        seen.insert(murmur3_token(bytes_of(s)));
+        s.push_back(static_cast<char>('a' + len));
+    }
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Murmur, TokenDistributionIsRoughlyUniform) {
+    constexpr int kNodes = 8;
+    constexpr int kKeys = 8000;
+    std::array<int, kNodes> counts{};
+    for (int i = 0; i < kKeys; ++i) {
+        const std::string key = "sensor-" + std::to_string(i);
+        counts[murmur3_token(bytes_of(key)) % kNodes]++;
+    }
+    for (const int c : counts) {
+        EXPECT_GT(c, kKeys / kNodes / 2);
+        EXPECT_LT(c, kKeys / kNodes * 2);
+    }
+}
+
+// ----------------------------------------------------------------- bloom
+
+TEST(Bloom, NoFalseNegatives) {
+    BloomFilter bloom(1000, 0.01);
+    for (int i = 0; i < 1000; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        bloom.insert(bytes_of(key));
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        EXPECT_TRUE(bloom.may_contain(bytes_of(key)));
+    }
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+    BloomFilter bloom(2000, 0.01);
+    for (int i = 0; i < 2000; ++i) {
+        const std::string key = "in" + std::to_string(i);
+        bloom.insert(bytes_of(key));
+    }
+    int fp = 0;
+    const int probes = 10000;
+    for (int i = 0; i < probes; ++i) {
+        const std::string key = "out" + std::to_string(i);
+        if (bloom.may_contain(bytes_of(key))) ++fp;
+    }
+    EXPECT_LT(static_cast<double>(fp) / probes, 0.05);
+}
+
+TEST(Bloom, SerializedStateRoundTrips) {
+    BloomFilter a(100);
+    const std::string key = "present";
+    a.insert(bytes_of(key));
+    BloomFilter b(a.bits(), a.hash_count());
+    EXPECT_TRUE(b.may_contain(bytes_of(key)));
+}
+
+// ----------------------------------------------------------- partitioner
+
+TEST(Partitioner, HierarchyKeepsSubtreesTogether) {
+    HierarchyPartitioner part(4);
+    // Same 4-byte prefix, different leaves and buckets -> same node.
+    Key a = make_key(1, 0);
+    Key b = make_key(1, 99);
+    b.sid[10] = 200;  // deep level differs
+    for (std::size_t nodes : {2u, 3u, 7u, 16u}) {
+        EXPECT_EQ(part.node_for(a, nodes), part.node_for(b, nodes));
+    }
+}
+
+TEST(Partitioner, HierarchySeparatesDifferentSubtrees) {
+    HierarchyPartitioner part(4);
+    std::set<std::size_t> nodes_hit;
+    for (std::uint8_t tag = 0; tag < 64; ++tag)
+        nodes_hit.insert(part.node_for(make_key(tag), 8));
+    EXPECT_GT(nodes_hit.size(), 4u) << "subtrees should spread over nodes";
+}
+
+TEST(Partitioner, Murmur3SpreadsBuckets) {
+    Murmur3Partitioner part;
+    // Same sensor, different time buckets spread over nodes (no locality).
+    std::set<std::size_t> nodes_hit;
+    for (std::uint32_t bucket = 0; bucket < 64; ++bucket)
+        nodes_hit.insert(part.node_for(make_key(1, bucket), 8));
+    EXPECT_GT(nodes_hit.size(), 4u);
+}
+
+TEST(Partitioner, FactoryRejectsUnknownName) {
+    EXPECT_NO_THROW(make_partitioner("murmur3"));
+    EXPECT_NO_THROW(make_partitioner("hierarchy"));
+    EXPECT_THROW(make_partitioner("vogon"), StoreError);
+}
+
+// -------------------------------------------------------------- memtable
+
+TEST(Memtable, InsertAndRangeQuery) {
+    Memtable mt;
+    const Key k = make_key(1);
+    for (TimestampNs ts = 100; ts <= 1000; ts += 100)
+        mt.insert(k, Row{ts, static_cast<Value>(ts * 2), 0});
+    std::vector<Row> out;
+    mt.query(k, 300, 700, out);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out.front().ts, 300u);
+    EXPECT_EQ(out.back().ts, 700u);
+    EXPECT_EQ(out[0].value, 600);
+}
+
+TEST(Memtable, OutOfOrderInsertIsSorted) {
+    Memtable mt;
+    const Key k = make_key(1);
+    mt.insert(k, Row{500, 5, 0});
+    mt.insert(k, Row{100, 1, 0});
+    mt.insert(k, Row{300, 3, 0});
+    std::vector<Row> out;
+    mt.query(k, 0, kTimestampMax, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].ts, 100u);
+    EXPECT_EQ(out[1].ts, 300u);
+    EXPECT_EQ(out[2].ts, 500u);
+}
+
+TEST(Memtable, SameTimestampUpserts) {
+    Memtable mt;
+    const Key k = make_key(1);
+    mt.insert(k, Row{100, 1, 0});
+    mt.insert(k, Row{100, 2, 0});
+    std::vector<Row> out;
+    mt.query(k, 0, kTimestampMax, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value, 2);
+}
+
+TEST(Memtable, SeparateKeysAreIsolated) {
+    Memtable mt;
+    mt.insert(make_key(1), Row{100, 1, 0});
+    mt.insert(make_key(2), Row{100, 2, 0});
+    std::vector<Row> out;
+    mt.query(make_key(1), 0, kTimestampMax, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value, 1);
+}
+
+TEST(Memtable, ApproxBytesGrows) {
+    Memtable mt;
+    const std::size_t before = mt.approx_bytes();
+    for (int i = 0; i < 100; ++i)
+        mt.insert(make_key(1), Row{static_cast<TimestampNs>(i), 0, 0});
+    EXPECT_GT(mt.approx_bytes(), before + 100 * Row::kBytes - 1);
+}
+
+// --------------------------------------------------------------- sstable
+
+TEST(SsTable, WriteOpenQuery) {
+    TempDir dir;
+    std::map<Key, std::vector<Row>> parts;
+    const Key k = make_key(3);
+    for (TimestampNs ts = 10; ts <= 100; ts += 10)
+        parts[k].push_back(Row{ts, static_cast<Value>(ts), 0});
+    auto table = SsTable::write(dir.str() + "/t.db", 1, parts);
+
+    std::vector<Row> out;
+    table->query(k, 30, 60, out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].ts, 30u);
+    EXPECT_EQ(out[3].ts, 60u);
+    EXPECT_EQ(table->generation(), 1u);
+    EXPECT_EQ(table->row_count(), 10u);
+}
+
+TEST(SsTable, ReopenFromDiskPreservesData) {
+    TempDir dir;
+    const std::string path = dir.str() + "/t.db";
+    {
+        std::map<Key, std::vector<Row>> parts;
+        parts[make_key(1)] = {Row{5, 50, 0}, Row{6, 60, 0}};
+        parts[make_key(2)] = {Row{7, 70, 0}};
+        SsTable::write(path, 9, parts);
+    }
+    auto table = SsTable::open(path);
+    EXPECT_EQ(table->generation(), 9u);
+    EXPECT_EQ(table->partition_count(), 2u);
+    std::vector<Row> out;
+    table->query(make_key(2), 0, kTimestampMax, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].value, 70);
+}
+
+TEST(SsTable, MissingKeyReturnsNothing) {
+    TempDir dir;
+    std::map<Key, std::vector<Row>> parts;
+    parts[make_key(1)] = {Row{1, 1, 0}};
+    auto table = SsTable::write(dir.str() + "/t.db", 1, parts);
+    std::vector<Row> out;
+    table->query(make_key(99), 0, kTimestampMax, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SsTable, LargePartitionBinarySearch) {
+    TempDir dir;
+    std::map<Key, std::vector<Row>> parts;
+    const Key k = make_key(1);
+    for (TimestampNs ts = 0; ts < 20000; ++ts)
+        parts[k].push_back(Row{ts, static_cast<Value>(ts), 0});
+    auto table = SsTable::write(dir.str() + "/big.db", 1, parts);
+    std::vector<Row> out;
+    table->query(k, 9999, 10001, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[1].ts, 10000u);
+}
+
+TEST(SsTable, CorruptFileIsRejected) {
+    TempDir dir;
+    const std::string path = dir.str() + "/junk.db";
+    FILE* f = fopen(path.c_str(), "wb");
+    const char junk[] = "this is not an sstable, not even close......";
+    fwrite(junk, 1, sizeof junk, f);
+    fclose(f);
+    EXPECT_THROW(SsTable::open(path), StoreError);
+}
+
+// ------------------------------------------------------------- commitlog
+
+TEST(CommitLog, AppendAndReplay) {
+    TempDir dir;
+    const std::string path = dir.str() + "/commit.log";
+    {
+        CommitLog log(path);
+        log.append(make_key(1), Row{10, 100, 0});
+        log.append(make_key(2), Row{20, 200, 7});
+        log.sync();
+    }
+    std::vector<std::pair<Key, Row>> seen;
+    const auto n = CommitLog::replay(
+        path, [&](const Key& k, const Row& r) { seen.emplace_back(k, r); });
+    EXPECT_EQ(n, 2u);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, make_key(1));
+    EXPECT_EQ(seen[1].second.value, 200);
+    EXPECT_EQ(seen[1].second.expiry_s, 7u);
+}
+
+TEST(CommitLog, ReplayStopsAtCorruptTail) {
+    TempDir dir;
+    const std::string path = dir.str() + "/commit.log";
+    {
+        CommitLog log(path);
+        log.append(make_key(1), Row{10, 100, 0});
+        log.sync();
+    }
+    // Simulate a torn write: append garbage.
+    FILE* f = fopen(path.c_str(), "ab");
+    fwrite("garbage", 1, 7, f);
+    fclose(f);
+
+    std::uint64_t count = 0;
+    CommitLog::replay(path, [&](const Key&, const Row&) { ++count; });
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(CommitLog, ResetTruncates) {
+    TempDir dir;
+    const std::string path = dir.str() + "/commit.log";
+    CommitLog log(path);
+    log.append(make_key(1), Row{10, 100, 0});
+    log.reset();
+    log.sync();
+    std::uint64_t count = 0;
+    CommitLog::replay(path, [&](const Key&, const Row&) { ++count; });
+    EXPECT_EQ(count, 0u);
+}
+
+// ---------------------------------------------------------- storage node
+
+TEST(StorageNode, InsertQueryAcrossFlush) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 20, true});
+    const Key k = make_key(1);
+    for (TimestampNs ts = 1; ts <= 100; ++ts)
+        node.insert(k, ts, static_cast<Value>(ts * 10));
+    node.flush();
+    for (TimestampNs ts = 101; ts <= 200; ++ts)
+        node.insert(k, ts, static_cast<Value>(ts * 10));
+
+    // Query spans SSTable + memtable.
+    const auto rows = node.query(k, 50, 150);
+    ASSERT_EQ(rows.size(), 101u);
+    EXPECT_EQ(rows.front().ts, 50u);
+    EXPECT_EQ(rows.back().ts, 150u);
+    EXPECT_EQ(rows.back().value, 1500);
+}
+
+TEST(StorageNode, NewerWriteShadowsOlderAcrossGenerations) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 20, true});
+    const Key k = make_key(1);
+    node.insert(k, 100, 1);
+    node.flush();
+    node.insert(k, 100, 2);  // same clustering key, newer write
+    node.flush();
+    auto rows = node.query(k, 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 2);
+
+    node.compact();
+    rows = node.query(k, 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 2);
+    EXPECT_EQ(node.stats().sstables, 1u);
+}
+
+TEST(StorageNode, AutomaticFlushOnThreshold) {
+    TempDir dir;
+    StorageNode node({dir.str(), /*flush at*/ 4096, true});
+    const Key k = make_key(1);
+    for (TimestampNs ts = 1; ts <= 2000; ++ts) node.insert(k, ts, 1);
+    EXPECT_GT(node.stats().flushes, 0u);
+    EXPECT_EQ(node.query(k, 0, kTimestampMax).size(), 2000u);
+}
+
+TEST(StorageNode, TtlExpiresRows) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 20, false});
+    const Key k = make_key(1);
+    const TimestampNs now = now_ns();
+    // Row whose expiry is already in the past vs one far in the future.
+    node.insert(k, now - 10 * kNsPerSec, 1, /*ttl_s=*/1);
+    node.insert(k, now, 2, /*ttl_s=*/3600);
+    const auto rows = node.query(k, 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 2);
+}
+
+TEST(StorageNode, CompactionDropsExpired) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 20, false});
+    const Key k = make_key(1);
+    const TimestampNs past = now_ns() - 100 * kNsPerSec;
+    node.insert(k, past, 1, /*ttl_s=*/1);
+    node.insert(k, past + 1, 2, /*ttl_s=*/0);
+    node.flush();
+    node.compact();
+    const auto stats = node.stats();
+    EXPECT_EQ(stats.sstables, 1u);
+    const auto rows = node.query(k, 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 2);
+}
+
+TEST(StorageNode, TruncateBeforeDropsOldData) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 20, false});
+    const Key k = make_key(1);
+    for (TimestampNs ts = 1; ts <= 100; ++ts) node.insert(k, ts, 1);
+    node.truncate_before(51);
+    const auto rows = node.query(k, 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 50u);
+    EXPECT_EQ(rows.front().ts, 51u);
+}
+
+TEST(StorageNode, CrashRecoveryViaCommitLog) {
+    TempDir dir;
+    {
+        StorageNode node({dir.str(), 1u << 20, true});
+        node.insert(make_key(1), 100, 42);
+        node.insert(make_key(1), 101, 43);
+        // "Crash": destructor without flush; commit log holds the data.
+    }
+    StorageNode recovered({dir.str(), 1u << 20, true});
+    const auto rows = recovered.query(make_key(1), 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].value, 42);
+    EXPECT_EQ(rows[1].value, 43);
+}
+
+TEST(StorageNode, RestartAfterFlushReopensSsTables) {
+    TempDir dir;
+    {
+        StorageNode node({dir.str(), 1u << 20, true});
+        node.insert(make_key(1), 100, 42);
+        node.flush();
+    }
+    StorageNode recovered({dir.str(), 1u << 20, true});
+    const auto rows = recovered.query(make_key(1), 0, kTimestampMax);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 42);
+}
+
+TEST(StorageNode, ConcurrentWritersAndReaders) {
+    TempDir dir;
+    StorageNode node({dir.str(), 1u << 18, false});
+    constexpr int kWriters = 4;
+    constexpr int kRowsEach = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters + 1);
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&node, w] {
+            const Key k = make_key(static_cast<std::uint8_t>(w));
+            for (int i = 1; i <= kRowsEach; ++i)
+                node.insert(k, static_cast<TimestampNs>(i), i);
+        });
+    }
+    threads.emplace_back([&node] {
+        for (int i = 0; i < 50; ++i) {
+            (void)node.query(make_key(0), 0, kTimestampMax);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    for (auto& t : threads) t.join();
+    for (int w = 0; w < kWriters; ++w) {
+        EXPECT_EQ(node.query(make_key(static_cast<std::uint8_t>(w)), 0,
+                             kTimestampMax)
+                      .size(),
+                  static_cast<std::size_t>(kRowsEach));
+    }
+}
+
+// --------------------------------------------------------------- cluster
+
+TEST(Cluster, RoutesToPrimaryAndQueriesBack) {
+    TempDir dir;
+    StoreCluster cluster({dir.str(), 4, 1, "hierarchy", 1u << 20, false});
+    for (std::uint8_t tag = 0; tag < 32; ++tag) {
+        const Key k = make_key(tag);
+        cluster.insert(k, 100, tag);
+        const auto rows = cluster.query(k, 0, kTimestampMax);
+        ASSERT_EQ(rows.size(), 1u);
+        EXPECT_EQ(rows[0].value, tag);
+    }
+}
+
+TEST(Cluster, ReplicationWritesToMultipleNodes) {
+    TempDir dir;
+    StoreCluster cluster({dir.str(), 3, 2, "murmur3", 1u << 20, false});
+    const Key k = make_key(5);
+    cluster.insert(k, 100, 55);
+    // Both replicas hold the row.
+    EXPECT_EQ(cluster.query_replica(0, k, 0, kTimestampMax).size(), 1u);
+    EXPECT_EQ(cluster.query_replica(1, k, 0, kTimestampMax).size(), 1u);
+    std::uint64_t writes = 0;
+    for (const auto& ns : cluster.stats().per_node) writes += ns.writes;
+    EXPECT_EQ(writes, 2u);
+}
+
+TEST(Cluster, HierarchyPartitionerGivesFullLocality) {
+    TempDir dir;
+    StoreCluster cluster({dir.str(), 4, 1, "hierarchy", 1u << 20, false});
+    // A writer colocated with the subtree's node always writes locally.
+    const Key k = make_key(7);
+    const int home = static_cast<int>(cluster.primary_node(k));
+    for (int i = 0; i < 100; ++i) {
+        Key kk = k;
+        kk.sid[12] = static_cast<std::uint8_t>(i);  // vary the leaf level
+        kk.bucket = static_cast<std::uint32_t>(i % 10);
+        cluster.insert(kk, 100, 1, 0, home);
+    }
+    const auto stats = cluster.stats();
+    EXPECT_EQ(stats.local_writes, 100u);
+    EXPECT_EQ(stats.total_writes, 100u);
+}
+
+TEST(Cluster, Murmur3PartitionerHasPartialLocality) {
+    TempDir dir;
+    StoreCluster cluster({dir.str(), 4, 1, "murmur3", 1u << 20, false});
+    const Key base = make_key(7);
+    const int home = static_cast<int>(cluster.primary_node(base));
+    for (int i = 0; i < 200; ++i) {
+        Key kk = base;
+        kk.sid[12] = static_cast<std::uint8_t>(i);
+        kk.bucket = static_cast<std::uint32_t>(i);
+        cluster.insert(kk, 100, 1, 0, home);
+    }
+    const auto stats = cluster.stats();
+    EXPECT_LT(stats.local_writes, stats.total_writes)
+        << "hash partitioning cannot keep a subtree on one node";
+}
+
+TEST(Cluster, InvalidConfigThrows) {
+    TempDir dir;
+    EXPECT_THROW(StoreCluster({dir.str(), 0, 1, "murmur3", 1024, false}),
+                 StoreError);
+    EXPECT_THROW(StoreCluster({dir.str(), 2, 3, "murmur3", 1024, false}),
+                 StoreError);
+}
+
+// ------------------------------------------------------------- metastore
+
+TEST(MetaStore, PutGetEraseInMemory) {
+    MetaStore meta;
+    meta.put("a", "1");
+    meta.put("b", "2");
+    EXPECT_EQ(meta.get("a").value(), "1");
+    meta.erase("a");
+    EXPECT_FALSE(meta.get("a").has_value());
+    EXPECT_EQ(meta.size(), 1u);
+}
+
+TEST(MetaStore, PersistsAcrossReopen) {
+    TempDir dir;
+    const std::string path = dir.str() + "/meta.log";
+    {
+        MetaStore meta(path);
+        meta.put("sensor//sys/node0/power/unit", "W");
+        meta.put("sensor//sys/node0/power/scale", "0.001");
+        meta.put("doomed", "x");
+        meta.erase("doomed");
+    }
+    MetaStore meta(path);
+    EXPECT_EQ(meta.get("sensor//sys/node0/power/unit").value(), "W");
+    EXPECT_EQ(meta.size(), 2u);
+    EXPECT_FALSE(meta.contains("doomed"));
+}
+
+TEST(MetaStore, EmptyValueIsNotATombstone) {
+    TempDir dir;
+    const std::string path = dir.str() + "/meta.log";
+    {
+        MetaStore meta(path);
+        meta.put("empty", "");
+    }
+    MetaStore meta(path);
+    ASSERT_TRUE(meta.get("empty").has_value());
+    EXPECT_EQ(meta.get("empty").value(), "");
+}
+
+TEST(MetaStore, ScanPrefixSorted) {
+    MetaStore meta;
+    meta.put("vs//b", "2");
+    meta.put("vs//a", "1");
+    meta.put("other", "x");
+    const auto hits = meta.scan_prefix("vs/");
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].first, "vs//a");
+    EXPECT_EQ(hits[1].first, "vs//b");
+}
+
+TEST(MetaStore, CompactPreservesContents) {
+    TempDir dir;
+    const std::string path = dir.str() + "/meta.log";
+    {
+        MetaStore meta(path);
+        for (int i = 0; i < 100; ++i) meta.put("k", std::to_string(i));
+        meta.compact();
+    }
+    MetaStore meta(path);
+    EXPECT_EQ(meta.get("k").value(), "99");
+}
+
+// ------------------------------------------- cluster configuration sweep
+
+struct ClusterParam {
+    std::size_t nodes;
+    std::size_t replication;
+    const char* partitioner;
+};
+
+class ClusterSweep : public ::testing::TestWithParam<ClusterParam> {};
+
+// Inserts must be retrievable from every replica under every supported
+// cluster shape, with total write amplification = replication factor.
+TEST_P(ClusterSweep, InsertQueryAcrossConfigurations) {
+    const auto param = GetParam();
+    TempDir dir;
+    StoreCluster cluster({dir.str(), param.nodes, param.replication,
+                          param.partitioner, 1u << 20, false});
+
+    constexpr int kSensors = 24;
+    constexpr int kReadings = 20;
+    for (int s = 0; s < kSensors; ++s) {
+        const Key k = make_key(static_cast<std::uint8_t>(s));
+        for (int i = 1; i <= kReadings; ++i)
+            cluster.insert(k, static_cast<TimestampNs>(i),
+                           static_cast<Value>(s * 1000 + i));
+    }
+    cluster.flush_all();
+    cluster.compact_all();
+
+    std::uint64_t total_writes = 0;
+    for (const auto& ns : cluster.stats().per_node) total_writes += ns.writes;
+    EXPECT_EQ(total_writes,
+              static_cast<std::uint64_t>(kSensors) * kReadings *
+                  param.replication);
+
+    for (int s = 0; s < kSensors; ++s) {
+        const Key k = make_key(static_cast<std::uint8_t>(s));
+        for (std::size_t r = 0; r < param.replication; ++r) {
+            const auto rows = cluster.query_replica(r, k, 0, kTimestampMax);
+            ASSERT_EQ(rows.size(), static_cast<std::size_t>(kReadings))
+                << "replica " << r << " sensor " << s;
+            EXPECT_EQ(rows.back().value, s * 1000 + kReadings);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterSweep,
+    ::testing::Values(ClusterParam{1, 1, "hierarchy"},
+                      ClusterParam{2, 1, "murmur3"},
+                      ClusterParam{3, 2, "hierarchy"},
+                      ClusterParam{4, 3, "murmur3"},
+                      ClusterParam{5, 1, "hierarchy"},
+                      ClusterParam{8, 2, "murmur3"}));
+
+}  // namespace
+}  // namespace dcdb::store

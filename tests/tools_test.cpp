@@ -1,0 +1,179 @@
+// Tests for the command line tools (dcdbquery, dcdbconfig, csvimport)
+// driven through their function entry points against a scratch database.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/clock.hpp"
+#include "tools/local_db.hpp"
+#include "tools/tools.hpp"
+
+namespace dcdb::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ToolsTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() /
+               ("dcdb_tools_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++));
+        fs::create_directories(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    int run(int (*tool)(const std::vector<std::string>&, std::ostream&,
+                        std::ostream&),
+            std::vector<std::string> args) {
+        out_.str("");
+        err_.str("");
+        args.insert(args.begin(), {"--db", dir_.string()});
+        return tool(args, out_, err_);
+    }
+
+    void seed_data() {
+        LocalDatabase db(dir_.string());
+        for (TimestampNs ts = kNsPerSec; ts <= 10 * kNsPerSec;
+             ts += kNsPerSec) {
+            db.conn().insert("/sys/n0/power",
+                             {ts, static_cast<Value>(ts / kNsPerSec * 10)});
+        }
+        db.cluster().flush_all();
+    }
+
+    static std::atomic<int> counter_;
+    fs::path dir_;
+    std::ostringstream out_;
+    std::ostringstream err_;
+};
+
+std::atomic<int> ToolsTest::counter_{0};
+
+TEST_F(ToolsTest, QueryPrintsSeries) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbquery, {"/sys/n0/power", "0",
+                                  std::to_string(20 * kNsPerSec)}),
+              0);
+    const std::string text = out_.str();
+    EXPECT_NE(text.find("100"), std::string::npos);
+    // 10 lines of output.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 10);
+}
+
+TEST_F(ToolsTest, QueryCsvFormat) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbquery, {"/sys/n0/power", "--csv"}), 0);
+    EXPECT_NE(out_.str().find("/sys/n0/power,1000000000,10"),
+              std::string::npos);
+}
+
+TEST_F(ToolsTest, QueryIntegral) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbquery, {"/sys/n0/power", "--integral"}), 0);
+    // Trapezoid of 10..100 over 9 s steps of 1 s = 495.
+    EXPECT_NE(out_.str().find("495"), std::string::npos);
+}
+
+TEST_F(ToolsTest, QueryBadUsage) {
+    EXPECT_EQ(run_dcdbquery({}, out_, err_), 2);
+    EXPECT_NE(err_.str().find("usage"), std::string::npos);
+    EXPECT_EQ(run(run_dcdbquery, {"/t", "notatime"}), 2);
+}
+
+TEST_F(ToolsTest, ConfigSensorListAndPublish) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbconfig, {"sensor", "list"}), 0);
+    EXPECT_NE(out_.str().find("/sys/n0/power"), std::string::npos);
+
+    ASSERT_EQ(run(run_dcdbconfig, {"sensor", "publish", "/sys/n0/power",
+                                   "unit=W", "scale=1", "ttl=3600"}),
+              0);
+    ASSERT_EQ(run(run_dcdbconfig, {"sensor", "show", "/sys/n0/power"}), 0);
+    EXPECT_NE(out_.str().find("unit W"), std::string::npos);
+    EXPECT_NE(out_.str().find("ttl 3600"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ConfigVirtualSensorDefinitionAndQuery) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbconfig,
+                  {"vsensor", "define", "/sys/n0/double", "W", "1",
+                   "/sys/n0/power", "*", "2"}),
+              0);
+    ASSERT_EQ(run(run_dcdbquery, {"/sys/n0/double"}), 0);
+    EXPECT_NE(out_.str().find("20"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ConfigDbMaintenance) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbconfig, {"db", "stats"}), 0);
+    EXPECT_NE(out_.str().find("node0"), std::string::npos);
+    ASSERT_EQ(run(run_dcdbconfig, {"db", "compact"}), 0);
+    ASSERT_EQ(run(run_dcdbconfig,
+                  {"db", "truncate", std::to_string(5 * kNsPerSec)}),
+              0);
+    ASSERT_EQ(run(run_dcdbquery, {"/sys/n0/power", "--csv"}), 0);
+    EXPECT_EQ(out_.str().find(",1000000000,"), std::string::npos)
+        << "rows before the cutoff must be gone";
+}
+
+TEST_F(ToolsTest, ConfigHierarchyBrowsing) {
+    seed_data();
+    ASSERT_EQ(run(run_dcdbconfig, {"hierarchy", "/sys"}), 0);
+    EXPECT_NE(out_.str().find("n0"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ConfigRejectsUnknownCommands) {
+    EXPECT_EQ(run(run_dcdbconfig, {"teleport"}), 2);
+    EXPECT_EQ(run(run_dcdbconfig, {"sensor", "warp"}), 2);
+}
+
+TEST_F(ToolsTest, CsvImportIngestsFile) {
+    const auto csv_path = dir_ / "import.csv";
+    {
+        std::ofstream f(csv_path);
+        f << "/imported/s,1000000000,5\n/imported/s,2000000000,6\n";
+    }
+    ASSERT_EQ(run(run_csvimport, {csv_path.string()}), 0);
+    EXPECT_NE(out_.str().find("imported 2 readings"), std::string::npos);
+    ASSERT_EQ(run(run_dcdbquery, {"/imported/s", "--csv"}), 0);
+    EXPECT_NE(out_.str().find("/imported/s,2000000000,6"),
+              std::string::npos);
+}
+
+TEST_F(ToolsTest, CsvImportMissingFileFails) {
+    EXPECT_EQ(run(run_csvimport, {"/no/such/file.csv"}), 1);
+}
+
+TEST_F(ToolsTest, PlugenGeneratesSkeletonFiles) {
+    const std::string out_dir = (dir_ / "gen").string();
+    ASSERT_EQ(run_plugen({"lustre", "--out", out_dir, "--with-entity"},
+                         out_, err_),
+              0);
+    EXPECT_TRUE(fs::exists(out_dir + "/lustre_plugin.hpp"));
+    EXPECT_TRUE(fs::exists(out_dir + "/lustre_plugin.cpp"));
+    EXPECT_NE(out_.str().find("register_plugin(\"lustre\""),
+              std::string::npos);
+
+    std::ifstream src(out_dir + "/lustre_plugin.cpp");
+    std::stringstream ss;
+    ss << src.rdbuf();
+    EXPECT_NE(ss.str().find("CUSTOM"), std::string::npos)
+        << "comment blocks must point at custom-code locations";
+    EXPECT_NE(ss.str().find("class LustreGroup"), std::string::npos);
+    EXPECT_NE(ss.str().find("class LustreEntity"), std::string::npos);
+}
+
+TEST_F(ToolsTest, PlugenRefusesOverwriteAndBadNames) {
+    const std::string out_dir = (dir_ / "gen2").string();
+    ASSERT_EQ(run_plugen({"mything", "--out", out_dir}, out_, err_), 0);
+    EXPECT_EQ(run_plugen({"mything", "--out", out_dir}, out_, err_), 1);
+    EXPECT_EQ(run_plugen({"9bad", "--out", out_dir}, out_, err_), 2);
+    EXPECT_EQ(run_plugen({"bad-name", "--out", out_dir}, out_, err_), 2);
+    EXPECT_EQ(run_plugen({}, out_, err_), 2);
+}
+
+}  // namespace
+}  // namespace dcdb::tools
