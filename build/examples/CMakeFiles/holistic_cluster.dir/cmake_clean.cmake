@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holistic_cluster.dir/holistic_cluster.cpp.o"
+  "CMakeFiles/holistic_cluster.dir/holistic_cluster.cpp.o.d"
+  "holistic_cluster"
+  "holistic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holistic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pue_dashboard.dir/pue_dashboard.cpp.o"
+  "CMakeFiles/pue_dashboard.dir/pue_dashboard.cpp.o.d"
+  "pue_dashboard"
+  "pue_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pue_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/kde.cpp" "src/analysis/CMakeFiles/dcdb_analysis.dir/kde.cpp.o" "gcc" "src/analysis/CMakeFiles/dcdb_analysis.dir/kde.cpp.o.d"
+  "/root/repo/src/analysis/regression.cpp" "src/analysis/CMakeFiles/dcdb_analysis.dir/regression.cpp.o" "gcc" "src/analysis/CMakeFiles/dcdb_analysis.dir/regression.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/dcdb_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/dcdb_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/dcdb_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/dcdb_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

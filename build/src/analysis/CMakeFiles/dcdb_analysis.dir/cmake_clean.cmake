@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_analysis.dir/kde.cpp.o"
+  "CMakeFiles/dcdb_analysis.dir/kde.cpp.o.d"
+  "CMakeFiles/dcdb_analysis.dir/regression.cpp.o"
+  "CMakeFiles/dcdb_analysis.dir/regression.cpp.o.d"
+  "CMakeFiles/dcdb_analysis.dir/stats.cpp.o"
+  "CMakeFiles/dcdb_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/dcdb_analysis.dir/table.cpp.o"
+  "CMakeFiles/dcdb_analysis.dir/table.cpp.o.d"
+  "libdcdb_analysis.a"
+  "libdcdb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcdb_analysis.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_analytics.dir/operators.cpp.o"
+  "CMakeFiles/dcdb_analytics.dir/operators.cpp.o.d"
+  "CMakeFiles/dcdb_analytics.dir/pipeline.cpp.o"
+  "CMakeFiles/dcdb_analytics.dir/pipeline.cpp.o.d"
+  "libdcdb_analytics.a"
+  "libdcdb_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

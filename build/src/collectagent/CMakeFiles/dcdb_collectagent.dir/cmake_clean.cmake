@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_collectagent.dir/collect_agent.cpp.o"
+  "CMakeFiles/dcdb_collectagent.dir/collect_agent.cpp.o.d"
+  "CMakeFiles/dcdb_collectagent.dir/rest_api.cpp.o"
+  "CMakeFiles/dcdb_collectagent.dir/rest_api.cpp.o.d"
+  "libdcdb_collectagent.a"
+  "libdcdb_collectagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_collectagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytebuf.cpp" "src/common/CMakeFiles/dcdb_common.dir/bytebuf.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/bytebuf.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/dcdb_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/dcdb_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/dcdb_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/proc_metrics.cpp" "src/common/CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o.d"
+  "/root/repo/src/common/string_utils.cpp" "src/common/CMakeFiles/dcdb_common.dir/string_utils.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/string_utils.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/dcdb_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

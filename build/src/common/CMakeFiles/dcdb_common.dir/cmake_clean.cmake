@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_common.dir/bytebuf.cpp.o"
+  "CMakeFiles/dcdb_common.dir/bytebuf.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/clock.cpp.o"
+  "CMakeFiles/dcdb_common.dir/clock.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/config.cpp.o"
+  "CMakeFiles/dcdb_common.dir/config.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/logging.cpp.o"
+  "CMakeFiles/dcdb_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o"
+  "CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/string_utils.cpp.o"
+  "CMakeFiles/dcdb_common.dir/string_utils.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/units.cpp.o"
+  "CMakeFiles/dcdb_common.dir/units.cpp.o.d"
+  "libdcdb_common.a"
+  "libdcdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

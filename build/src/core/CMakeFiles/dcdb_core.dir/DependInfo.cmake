@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/dcdb_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/dcdb_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/metadata.cpp" "src/core/CMakeFiles/dcdb_core.dir/metadata.cpp.o" "gcc" "src/core/CMakeFiles/dcdb_core.dir/metadata.cpp.o.d"
+  "/root/repo/src/core/payload.cpp" "src/core/CMakeFiles/dcdb_core.dir/payload.cpp.o" "gcc" "src/core/CMakeFiles/dcdb_core.dir/payload.cpp.o.d"
+  "/root/repo/src/core/sensor_cache.cpp" "src/core/CMakeFiles/dcdb_core.dir/sensor_cache.cpp.o" "gcc" "src/core/CMakeFiles/dcdb_core.dir/sensor_cache.cpp.o.d"
+  "/root/repo/src/core/sensor_id.cpp" "src/core/CMakeFiles/dcdb_core.dir/sensor_id.cpp.o" "gcc" "src/core/CMakeFiles/dcdb_core.dir/sensor_id.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/dcdb_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dcdb_core.dir/metadata.cpp.o"
+  "CMakeFiles/dcdb_core.dir/metadata.cpp.o.d"
+  "CMakeFiles/dcdb_core.dir/payload.cpp.o"
+  "CMakeFiles/dcdb_core.dir/payload.cpp.o.d"
+  "CMakeFiles/dcdb_core.dir/sensor_cache.cpp.o"
+  "CMakeFiles/dcdb_core.dir/sensor_cache.cpp.o.d"
+  "CMakeFiles/dcdb_core.dir/sensor_id.cpp.o"
+  "CMakeFiles/dcdb_core.dir/sensor_id.cpp.o.d"
+  "libdcdb_core.a"
+  "libdcdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libdcdb/connection.cpp" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/connection.cpp.o" "gcc" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/connection.cpp.o.d"
+  "/root/repo/src/libdcdb/csv.cpp" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/csv.cpp.o" "gcc" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/csv.cpp.o.d"
+  "/root/repo/src/libdcdb/expression.cpp" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/expression.cpp.o" "gcc" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/expression.cpp.o.d"
+  "/root/repo/src/libdcdb/virtual_sensor.cpp" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/virtual_sensor.cpp.o" "gcc" "src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/virtual_sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_libdcdb.dir/connection.cpp.o"
+  "CMakeFiles/dcdb_libdcdb.dir/connection.cpp.o.d"
+  "CMakeFiles/dcdb_libdcdb.dir/csv.cpp.o"
+  "CMakeFiles/dcdb_libdcdb.dir/csv.cpp.o.d"
+  "CMakeFiles/dcdb_libdcdb.dir/expression.cpp.o"
+  "CMakeFiles/dcdb_libdcdb.dir/expression.cpp.o.d"
+  "CMakeFiles/dcdb_libdcdb.dir/virtual_sensor.cpp.o"
+  "CMakeFiles/dcdb_libdcdb.dir/virtual_sensor.cpp.o.d"
+  "libdcdb_libdcdb.a"
+  "libdcdb_libdcdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_libdcdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcdb_libdcdb.
+# This may be replaced when dependencies are built.

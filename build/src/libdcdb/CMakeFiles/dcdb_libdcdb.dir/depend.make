@@ -1,0 +1,2 @@
+# Empty dependencies file for dcdb_libdcdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_mqtt.dir/broker.cpp.o"
+  "CMakeFiles/dcdb_mqtt.dir/broker.cpp.o.d"
+  "CMakeFiles/dcdb_mqtt.dir/client.cpp.o"
+  "CMakeFiles/dcdb_mqtt.dir/client.cpp.o.d"
+  "CMakeFiles/dcdb_mqtt.dir/packet.cpp.o"
+  "CMakeFiles/dcdb_mqtt.dir/packet.cpp.o.d"
+  "CMakeFiles/dcdb_mqtt.dir/topic.cpp.o"
+  "CMakeFiles/dcdb_mqtt.dir/topic.cpp.o.d"
+  "CMakeFiles/dcdb_mqtt.dir/transport.cpp.o"
+  "CMakeFiles/dcdb_mqtt.dir/transport.cpp.o.d"
+  "libdcdb_mqtt.a"
+  "libdcdb_mqtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_mqtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_net.dir/http.cpp.o"
+  "CMakeFiles/dcdb_net.dir/http.cpp.o.d"
+  "CMakeFiles/dcdb_net.dir/socket.cpp.o"
+  "CMakeFiles/dcdb_net.dir/socket.cpp.o.d"
+  "libdcdb_net.a"
+  "libdcdb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

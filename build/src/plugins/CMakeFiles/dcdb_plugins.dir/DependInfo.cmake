@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugins/bacnet_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/bacnet_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/bacnet_plugin.cpp.o.d"
+  "/root/repo/src/plugins/devices.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/devices.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/devices.cpp.o.d"
+  "/root/repo/src/plugins/gpfs_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/gpfs_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/gpfs_plugin.cpp.o.d"
+  "/root/repo/src/plugins/gpu_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/gpu_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/gpu_plugin.cpp.o.d"
+  "/root/repo/src/plugins/ipmi_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/ipmi_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/ipmi_plugin.cpp.o.d"
+  "/root/repo/src/plugins/opa_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/opa_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/opa_plugin.cpp.o.d"
+  "/root/repo/src/plugins/perfevents_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/perfevents_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/perfevents_plugin.cpp.o.d"
+  "/root/repo/src/plugins/procfs_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/procfs_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/procfs_plugin.cpp.o.d"
+  "/root/repo/src/plugins/register.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/register.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/register.cpp.o.d"
+  "/root/repo/src/plugins/rest_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/rest_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/rest_plugin.cpp.o.d"
+  "/root/repo/src/plugins/snmp_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/snmp_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/snmp_plugin.cpp.o.d"
+  "/root/repo/src/plugins/sysfs_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/sysfs_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/sysfs_plugin.cpp.o.d"
+  "/root/repo/src/plugins/tester_plugin.cpp" "src/plugins/CMakeFiles/dcdb_plugins.dir/tester_plugin.cpp.o" "gcc" "src/plugins/CMakeFiles/dcdb_plugins.dir/tester_plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pusher/CMakeFiles/dcdb_pusher.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcdb_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_plugins.dir/bacnet_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/bacnet_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/devices.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/devices.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/gpfs_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/gpfs_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/gpu_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/gpu_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/ipmi_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/ipmi_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/opa_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/opa_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/perfevents_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/perfevents_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/procfs_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/procfs_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/register.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/register.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/rest_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/rest_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/snmp_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/snmp_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/sysfs_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/sysfs_plugin.cpp.o.d"
+  "CMakeFiles/dcdb_plugins.dir/tester_plugin.cpp.o"
+  "CMakeFiles/dcdb_plugins.dir/tester_plugin.cpp.o.d"
+  "libdcdb_plugins.a"
+  "libdcdb_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pusher/mqtt_pusher.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/mqtt_pusher.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/mqtt_pusher.cpp.o.d"
+  "/root/repo/src/pusher/plugin.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/plugin.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/plugin.cpp.o.d"
+  "/root/repo/src/pusher/pusher.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/pusher.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/pusher.cpp.o.d"
+  "/root/repo/src/pusher/rest_api.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/rest_api.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/rest_api.cpp.o.d"
+  "/root/repo/src/pusher/sampler.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/sampler.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/sampler.cpp.o.d"
+  "/root/repo/src/pusher/sensor_base.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/sensor_base.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/sensor_base.cpp.o.d"
+  "/root/repo/src/pusher/sensor_group.cpp" "src/pusher/CMakeFiles/dcdb_pusher.dir/sensor_group.cpp.o" "gcc" "src/pusher/CMakeFiles/dcdb_pusher.dir/sensor_group.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/dcdb_plugins.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcdb_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_pusher.dir/mqtt_pusher.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/mqtt_pusher.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/plugin.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/plugin.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/pusher.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/pusher.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/rest_api.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/rest_api.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/sampler.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/sampler.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/sensor_base.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/sensor_base.cpp.o.d"
+  "CMakeFiles/dcdb_pusher.dir/sensor_group.cpp.o"
+  "CMakeFiles/dcdb_pusher.dir/sensor_group.cpp.o.d"
+  "libdcdb_pusher.a"
+  "libdcdb_pusher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_pusher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dcdb_pusher.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/apps.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/apps.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/apps.cpp.o.d"
+  "/root/repo/src/sim/arch.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/arch.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/arch.cpp.o.d"
+  "/root/repo/src/sim/bacnet_device.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/bacnet_device.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/bacnet_device.cpp.o.d"
+  "/root/repo/src/sim/bmc.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/bmc.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/bmc.cpp.o.d"
+  "/root/repo/src/sim/cluster_des.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/cluster_des.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/cluster_des.cpp.o.d"
+  "/root/repo/src/sim/cooling.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/cooling.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/cooling.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/fabric.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/fabric.cpp.o.d"
+  "/root/repo/src/sim/fs_stats.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/fs_stats.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/fs_stats.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/hpl.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/hpl.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/hpl.cpp.o.d"
+  "/root/repo/src/sim/pdu.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/pdu.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/pdu.cpp.o.d"
+  "/root/repo/src/sim/perf_counters.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/perf_counters.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/perf_counters.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/snmp_agent.cpp" "src/sim/CMakeFiles/dcdb_sim.dir/snmp_agent.cpp.o" "gcc" "src/sim/CMakeFiles/dcdb_sim.dir/snmp_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcdb_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_sim.dir/apps.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/apps.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/arch.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/arch.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/bacnet_device.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/bacnet_device.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/bmc.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/bmc.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/cluster_des.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/cluster_des.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/cooling.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/cooling.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/fabric.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/fabric.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/fs_stats.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/fs_stats.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/gpu.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/hpl.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/hpl.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/pdu.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/pdu.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/perf_counters.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/perf_counters.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/power.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/power.cpp.o.d"
+  "CMakeFiles/dcdb_sim.dir/snmp_agent.cpp.o"
+  "CMakeFiles/dcdb_sim.dir/snmp_agent.cpp.o.d"
+  "libdcdb_sim.a"
+  "libdcdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/bloom.cpp" "src/store/CMakeFiles/dcdb_store.dir/bloom.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/bloom.cpp.o.d"
+  "/root/repo/src/store/cluster.cpp" "src/store/CMakeFiles/dcdb_store.dir/cluster.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/cluster.cpp.o.d"
+  "/root/repo/src/store/commitlog.cpp" "src/store/CMakeFiles/dcdb_store.dir/commitlog.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/commitlog.cpp.o.d"
+  "/root/repo/src/store/memtable.cpp" "src/store/CMakeFiles/dcdb_store.dir/memtable.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/memtable.cpp.o.d"
+  "/root/repo/src/store/metastore.cpp" "src/store/CMakeFiles/dcdb_store.dir/metastore.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/metastore.cpp.o.d"
+  "/root/repo/src/store/murmur.cpp" "src/store/CMakeFiles/dcdb_store.dir/murmur.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/murmur.cpp.o.d"
+  "/root/repo/src/store/node.cpp" "src/store/CMakeFiles/dcdb_store.dir/node.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/node.cpp.o.d"
+  "/root/repo/src/store/partitioner.cpp" "src/store/CMakeFiles/dcdb_store.dir/partitioner.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/partitioner.cpp.o.d"
+  "/root/repo/src/store/sstable.cpp" "src/store/CMakeFiles/dcdb_store.dir/sstable.cpp.o" "gcc" "src/store/CMakeFiles/dcdb_store.dir/sstable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_store.dir/bloom.cpp.o"
+  "CMakeFiles/dcdb_store.dir/bloom.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/cluster.cpp.o"
+  "CMakeFiles/dcdb_store.dir/cluster.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/commitlog.cpp.o"
+  "CMakeFiles/dcdb_store.dir/commitlog.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/memtable.cpp.o"
+  "CMakeFiles/dcdb_store.dir/memtable.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/metastore.cpp.o"
+  "CMakeFiles/dcdb_store.dir/metastore.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/murmur.cpp.o"
+  "CMakeFiles/dcdb_store.dir/murmur.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/node.cpp.o"
+  "CMakeFiles/dcdb_store.dir/node.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/partitioner.cpp.o"
+  "CMakeFiles/dcdb_store.dir/partitioner.cpp.o.d"
+  "CMakeFiles/dcdb_store.dir/sstable.cpp.o"
+  "CMakeFiles/dcdb_store.dir/sstable.cpp.o.d"
+  "libdcdb_store.a"
+  "libdcdb_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csvimport.dir/csvimport_main.cpp.o"
+  "CMakeFiles/csvimport.dir/csvimport_main.cpp.o.d"
+  "csvimport"
+  "csvimport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csvimport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/csvimport_tool.cpp" "src/tools/CMakeFiles/dcdb_tools.dir/csvimport_tool.cpp.o" "gcc" "src/tools/CMakeFiles/dcdb_tools.dir/csvimport_tool.cpp.o.d"
+  "/root/repo/src/tools/dcdbconfig_tool.cpp" "src/tools/CMakeFiles/dcdb_tools.dir/dcdbconfig_tool.cpp.o" "gcc" "src/tools/CMakeFiles/dcdb_tools.dir/dcdbconfig_tool.cpp.o.d"
+  "/root/repo/src/tools/dcdbquery_tool.cpp" "src/tools/CMakeFiles/dcdb_tools.dir/dcdbquery_tool.cpp.o" "gcc" "src/tools/CMakeFiles/dcdb_tools.dir/dcdbquery_tool.cpp.o.d"
+  "/root/repo/src/tools/local_db.cpp" "src/tools/CMakeFiles/dcdb_tools.dir/local_db.cpp.o" "gcc" "src/tools/CMakeFiles/dcdb_tools.dir/local_db.cpp.o.d"
+  "/root/repo/src/tools/plugen_tool.cpp" "src/tools/CMakeFiles/dcdb_tools.dir/plugen_tool.cpp.o" "gcc" "src/tools/CMakeFiles/dcdb_tools.dir/plugen_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

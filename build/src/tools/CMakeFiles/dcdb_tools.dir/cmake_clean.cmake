@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdb_tools.dir/csvimport_tool.cpp.o"
+  "CMakeFiles/dcdb_tools.dir/csvimport_tool.cpp.o.d"
+  "CMakeFiles/dcdb_tools.dir/dcdbconfig_tool.cpp.o"
+  "CMakeFiles/dcdb_tools.dir/dcdbconfig_tool.cpp.o.d"
+  "CMakeFiles/dcdb_tools.dir/dcdbquery_tool.cpp.o"
+  "CMakeFiles/dcdb_tools.dir/dcdbquery_tool.cpp.o.d"
+  "CMakeFiles/dcdb_tools.dir/local_db.cpp.o"
+  "CMakeFiles/dcdb_tools.dir/local_db.cpp.o.d"
+  "CMakeFiles/dcdb_tools.dir/plugen_tool.cpp.o"
+  "CMakeFiles/dcdb_tools.dir/plugen_tool.cpp.o.d"
+  "libdcdb_tools.a"
+  "libdcdb_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdb_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdbcollectagent.dir/dcdbcollectagent_main.cpp.o"
+  "CMakeFiles/dcdbcollectagent.dir/dcdbcollectagent_main.cpp.o.d"
+  "dcdbcollectagent"
+  "dcdbcollectagent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdbcollectagent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

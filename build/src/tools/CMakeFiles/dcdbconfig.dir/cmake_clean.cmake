@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdbconfig.dir/dcdbconfig_main.cpp.o"
+  "CMakeFiles/dcdbconfig.dir/dcdbconfig_main.cpp.o.d"
+  "dcdbconfig"
+  "dcdbconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdbconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

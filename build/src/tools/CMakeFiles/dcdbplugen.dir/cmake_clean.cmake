@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdbplugen.dir/plugen_main.cpp.o"
+  "CMakeFiles/dcdbplugen.dir/plugen_main.cpp.o.d"
+  "dcdbplugen"
+  "dcdbplugen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdbplugen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdbpusher.dir/dcdbpusher_main.cpp.o"
+  "CMakeFiles/dcdbpusher.dir/dcdbpusher_main.cpp.o.d"
+  "dcdbpusher"
+  "dcdbpusher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdbpusher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

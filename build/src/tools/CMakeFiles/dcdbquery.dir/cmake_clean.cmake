@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcdbquery.dir/dcdbquery_main.cpp.o"
+  "CMakeFiles/dcdbquery.dir/dcdbquery_main.cpp.o.d"
+  "dcdbquery"
+  "dcdbquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcdbquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectagent_test.dir/collectagent_test.cpp.o"
+  "CMakeFiles/collectagent_test.dir/collectagent_test.cpp.o.d"
+  "collectagent_test"
+  "collectagent_test.pdb"
+  "collectagent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectagent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libdcdb_test.dir/libdcdb_test.cpp.o"
+  "CMakeFiles/libdcdb_test.dir/libdcdb_test.cpp.o.d"
+  "libdcdb_test"
+  "libdcdb_test.pdb"
+  "libdcdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libdcdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

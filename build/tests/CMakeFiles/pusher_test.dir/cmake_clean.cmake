@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pusher_test.dir/pusher_test.cpp.o"
+  "CMakeFiles/pusher_test.dir/pusher_test.cpp.o.d"
+  "pusher_test"
+  "pusher_test.pdb"
+  "pusher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pusher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
