@@ -259,15 +259,8 @@ bench/CMakeFiles/bench_fig9.dir/bench_fig9.cpp.o: \
  /root/repo/src/store/partitioner.hpp /root/repo/src/common/clock.hpp \
  /usr/include/c++/12/chrono /root/repo/src/libdcdb/connection.hpp \
  /root/repo/src/core/metadata.hpp /root/repo/src/pusher/pusher.hpp \
- /root/repo/src/mqtt/client.hpp /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/pusher/mqtt_pusher.hpp /root/repo/src/pusher/plugin.hpp \
- /root/repo/src/pusher/sensor_group.hpp \
- /root/repo/src/pusher/sensor_base.hpp /root/repo/src/pusher/sampler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/sim/cooling.hpp /root/repo/src/common/random.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/random.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -287,5 +280,11 @@ bench/CMakeFiles/bench_fig9.dir/bench_fig9.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/sim/snmp_agent.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/mqtt/client.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/pusher/mqtt_pusher.hpp /root/repo/src/pusher/plugin.hpp \
+ /root/repo/src/pusher/sensor_group.hpp \
+ /root/repo/src/pusher/sensor_base.hpp /root/repo/src/pusher/sampler.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/sim/cooling.hpp /root/repo/src/sim/snmp_agent.hpp

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_reliability.cpp" "bench/CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o" "gcc" "bench/CMakeFiles/bench_reliability.dir/bench_reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/dcdb_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/libdcdb/CMakeFiles/dcdb_libdcdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectagent/CMakeFiles/dcdb_collectagent.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/dcdb_plugins.dir/DependInfo.cmake"
+  "/root/repo/build/src/pusher/CMakeFiles/dcdb_pusher.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcdb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/dcdb_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/mqtt/CMakeFiles/dcdb_mqtt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dcdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

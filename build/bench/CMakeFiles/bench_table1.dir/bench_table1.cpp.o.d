@@ -266,8 +266,9 @@ bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/error.hpp /root/repo/src/net/socket.hpp \
  /root/repo/src/pusher/pusher.hpp /root/repo/src/common/config.hpp \
- /root/repo/src/core/sensor_cache.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/mqtt/client.hpp /usr/include/c++/12/unordered_set \
+ /root/repo/src/common/random.hpp /root/repo/src/core/sensor_cache.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/mqtt/client.hpp \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/http.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \

@@ -243,8 +243,11 @@ src/collectagent/CMakeFiles/dcdb_collectagent.dir/collect_agent.cpp.o: \
  /usr/include/c++/12/shared_mutex /root/repo/src/store/commitlog.hpp \
  /root/repo/src/store/row.hpp /root/repo/src/store/memtable.hpp \
  /root/repo/src/store/sstable.hpp /root/repo/src/store/bloom.hpp \
- /root/repo/src/store/partitioner.hpp /root/repo/src/common/clock.hpp \
+ /root/repo/src/store/partitioner.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/logging.hpp \
- /root/repo/src/core/payload.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/clock.hpp \
+ /root/repo/src/common/logging.hpp /root/repo/src/core/payload.hpp

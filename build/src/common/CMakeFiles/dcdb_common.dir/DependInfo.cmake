@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bytebuf.cpp" "src/common/CMakeFiles/dcdb_common.dir/bytebuf.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/bytebuf.cpp.o.d"
   "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/dcdb_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/clock.cpp.o.d"
   "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/dcdb_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/fault.cpp" "src/common/CMakeFiles/dcdb_common.dir/fault.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/fault.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/dcdb_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/logging.cpp.o.d"
   "/root/repo/src/common/proc_metrics.cpp" "src/common/CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o.d"
   "/root/repo/src/common/string_utils.cpp" "src/common/CMakeFiles/dcdb_common.dir/string_utils.cpp.o" "gcc" "src/common/CMakeFiles/dcdb_common.dir/string_utils.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dcdb_common.dir/clock.cpp.o.d"
   "CMakeFiles/dcdb_common.dir/config.cpp.o"
   "CMakeFiles/dcdb_common.dir/config.cpp.o.d"
+  "CMakeFiles/dcdb_common.dir/fault.cpp.o"
+  "CMakeFiles/dcdb_common.dir/fault.cpp.o.d"
   "CMakeFiles/dcdb_common.dir/logging.cpp.o"
   "CMakeFiles/dcdb_common.dir/logging.cpp.o.d"
   "CMakeFiles/dcdb_common.dir/proc_metrics.cpp.o"

@@ -1,5 +1,9 @@
 #include "collectagent/collect_agent.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "core/payload.hpp"
@@ -16,7 +20,11 @@ CollectAgent::CollectAgent(const ConfigNode& config,
       ttl_s_(static_cast<std::uint32_t>(
           config.get_i64_or("global.ttl", 0))),
       store_node_hint_(static_cast<int>(
-          config.get_i64_or("global.storeNodeHint", -1))) {
+          config.get_i64_or("global.storeNodeHint", -1))),
+      store_retry_max_(static_cast<std::uint32_t>(std::max<std::int64_t>(
+          config.get_i64_or("global.storeRetryMax", 4), 1))),
+      store_retry_backoff_ns_(
+          config.get_duration_ns_or("global.storeRetryBackoff", kNsPerMs)) {
     const bool listen_tcp = config.get_bool_or("global.listenTcp", true);
     const auto port = static_cast<std::uint16_t>(
         config.get_i64_or("global.mqttPort", 0));
@@ -45,28 +53,66 @@ std::uint16_t CollectAgent::rest_port() const {
     return rest_server_ ? rest_server_->port() : 0;
 }
 
-void CollectAgent::on_publish(const mqtt::Publish& message) {
-    messages_.fetch_add(1, std::memory_order_relaxed);
-    try {
-        const SensorId sid = mapper_.to_sid(message.topic);
-        const auto readings = decode_readings(message.payload);
-        if (readings.empty()) return;
-
-        for (const auto& reading : readings) {
+bool CollectAgent::insert_with_retry(const SensorId& sid,
+                                     const std::string& topic,
+                                     const Reading& reading) {
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
             cluster_->insert(sensor_key(sid, reading.ts), reading.ts,
                              reading.value, ttl_s_, store_node_hint_);
-            if (live_listener_) live_listener_(message.topic, reading);
+            return true;
+        } catch (const std::exception& e) {
+            store_errors_.fetch_add(1, std::memory_order_relaxed);
+            if (attempt + 1 >= store_retry_max_) {
+                dead_letters_.fetch_add(1, std::memory_order_relaxed);
+                DCDB_WARN("collectagent")
+                    << "dead-lettering reading on " << topic << " (ts "
+                    << reading.ts << ") after " << store_retry_max_
+                    << " attempts: " << e.what();
+                return false;
+            }
+            store_retries_.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                store_retry_backoff_ns_
+                << std::min<std::uint32_t>(attempt, 10)));
         }
-        readings_.fetch_add(readings.size(), std::memory_order_relaxed);
+    }
+}
 
-        // Cache the newest reading and keep the hierarchy browsable.
-        cache_.push(message.topic, readings.back());
-        tree_.add(message.topic);
+void CollectAgent::on_publish(const mqtt::Publish& message) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+
+    // Decode failures are terminal for the whole message (there is
+    // nothing to retry) and count as decode_errors. Store failures are
+    // transient, per reading, and must not drop the rest of the batch.
+    SensorId sid;
+    std::vector<Reading> readings;
+    try {
+        sid = mapper_.to_sid(message.topic);
+        readings = decode_readings(message.payload);
     } catch (const std::exception& e) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
         DCDB_WARN("collectagent")
             << "dropping message on " << message.topic << ": " << e.what();
+        return;
     }
+    if (readings.empty()) return;
+
+    std::size_t stored = 0;
+    const Reading* newest_stored = nullptr;
+    for (const auto& reading : readings) {
+        if (!insert_with_retry(sid, message.topic, reading)) continue;
+        ++stored;
+        newest_stored = &reading;
+        if (live_listener_) live_listener_(message.topic, reading);
+    }
+    if (stored == 0) return;
+    readings_.fetch_add(stored, std::memory_order_relaxed);
+
+    // Cache the newest persisted reading and keep the hierarchy
+    // browsable — even when part of the batch was dead-lettered.
+    cache_.push(message.topic, *newest_stored);
+    tree_.add(message.topic);
 }
 
 void CollectAgent::set_live_listener(LiveListener listener) {
@@ -75,8 +121,7 @@ void CollectAgent::set_live_listener(LiveListener listener) {
 
 void CollectAgent::ingest(const std::string& topic, const Reading& reading) {
     const SensorId sid = mapper_.to_sid(topic);
-    cluster_->insert(sensor_key(sid, reading.ts), reading.ts, reading.value,
-                     ttl_s_, store_node_hint_);
+    if (!insert_with_retry(sid, topic, reading)) return;
     cache_.push(topic, reading);
     tree_.add(topic);
     readings_.fetch_add(1, std::memory_order_relaxed);
@@ -104,6 +149,9 @@ CollectAgentStats CollectAgent::stats() const {
     s.messages = messages_.load();
     s.readings = readings_.load();
     s.decode_errors = decode_errors_.load();
+    s.store_errors = store_errors_.load();
+    s.store_retries = store_retries_.load();
+    s.dead_letters = dead_letters_.load();
     s.known_sensors = tree_.sensor_count();
     return s;
 }

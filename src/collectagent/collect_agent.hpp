@@ -15,6 +15,8 @@
 //       cacheWindow 2m
 //       ttl        0        ; storage TTL seconds for ingested readings
 //       storeNodeHint -1    ; colocated store node (locality accounting)
+//       storeRetryMax 4     ; insert attempts before dead-lettering
+//       storeRetryBackoff 1ms ; base retry delay (doubles per attempt)
 //   }
 #pragma once
 
@@ -36,7 +38,15 @@ namespace dcdb::collectagent {
 struct CollectAgentStats {
     std::uint64_t messages{0};
     std::uint64_t readings{0};
+    /// Messages whose topic or payload could not be decoded (dropped —
+    /// retrying cannot fix a malformed message).
     std::uint64_t decode_errors{0};
+    /// Transient store-insert failures observed (each failed attempt).
+    std::uint64_t store_errors{0};
+    /// Insert re-attempts after a transient store error.
+    std::uint64_t store_retries{0};
+    /// Readings abandoned after exhausting all insert attempts.
+    std::uint64_t dead_letters{0};
     std::size_t known_sensors{0};
 };
 
@@ -88,12 +98,20 @@ class CollectAgent {
   private:
     void on_publish(const mqtt::Publish& message);
 
+    /// Insert one reading with bounded retries (transient store errors
+    /// must not drop decoded data). Returns false after the last attempt
+    /// fails; the reading is then counted as a dead letter.
+    bool insert_with_retry(const SensorId& sid, const std::string& topic,
+                           const Reading& reading);
+
     store::StoreCluster* cluster_;
     TopicMapper mapper_;
     CacheSet cache_;
     SensorTree tree_;
     std::uint32_t ttl_s_;
     int store_node_hint_;
+    std::uint32_t store_retry_max_;
+    TimestampNs store_retry_backoff_ns_;
 
     LiveListener live_listener_;
     std::unique_ptr<mqtt::MqttBroker> broker_;
@@ -102,6 +120,9 @@ class CollectAgent {
     std::atomic<std::uint64_t> messages_{0};
     std::atomic<std::uint64_t> readings_{0};
     std::atomic<std::uint64_t> decode_errors_{0};
+    std::atomic<std::uint64_t> store_errors_{0};
+    std::atomic<std::uint64_t> store_retries_{0};
+    std::atomic<std::uint64_t> dead_letters_{0};
 };
 
 /// REST server factory (shared by the agent constructor).

@@ -27,7 +27,12 @@ void SensorCache::push(const Reading& r) {
     // the common path is a single store.
     if (count_ == ring_.size()) {
         const std::size_t oldest = head_;  // == start when full
-        if (r.ts >= window_ns_ && ring_[oldest].ts >= r.ts - window_ns_) {
+        // Clamp the window start at 0: timestamps smaller than the window
+        // (early boot, test clocks) must not underflow the unsigned
+        // subtraction — every reading is in-window then, so grow.
+        const TimestampNs window_start =
+            r.ts >= window_ns_ ? r.ts - window_ns_ : 0;
+        if (ring_[oldest].ts >= window_start) {
             // Oldest entry still inside the window: ring too small.
             grow();
         } else {

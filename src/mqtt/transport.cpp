@@ -1,19 +1,70 @@
 #include "mqtt/transport.hpp"
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
+
 namespace dcdb::mqtt {
+
+namespace {
+
+// Fault-injection hooks shared by both transport implementations. The
+// mapping from action to byte-stream semantics: an injected error fails
+// the one operation (callers see a transient NetError and may retry on a
+// live connection); a drop closes the transport first, so the whole
+// connection dies as it would under a broker crash or network partition.
+void apply_send_fault(Transport& transport) {
+    auto& injector = FaultInjector::instance();
+    switch (injector.roll(FaultPoint::kMqttSend)) {
+        case FaultAction::kNone:
+            return;
+        case FaultAction::kError:
+            throw NetError("injected mqtt send fault");
+        case FaultAction::kDrop:
+            transport.close();
+            throw NetError("injected mqtt connection drop");
+        case FaultAction::kDelay:
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                injector.delay_ns(FaultPoint::kMqttSend)));
+            return;
+    }
+}
+
+/// Returns true when the recv should report EOF (connection dropped).
+bool apply_recv_fault(Transport& transport) {
+    auto& injector = FaultInjector::instance();
+    switch (injector.roll(FaultPoint::kMqttRecv)) {
+        case FaultAction::kNone:
+            return false;
+        case FaultAction::kError:
+            throw NetError("injected mqtt recv fault");
+        case FaultAction::kDrop:
+            transport.close();
+            return true;
+        case FaultAction::kDelay:
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                injector.delay_ns(FaultPoint::kMqttRecv)));
+            return false;
+    }
+    return false;
+}
+
+}  // namespace
 
 TcpTransport::TcpTransport(TcpStream stream) : stream_(std::move(stream)) {
     stream_.set_nodelay(true);
 }
 
 void TcpTransport::send(std::span<const std::uint8_t> data) {
+    apply_send_fault(*this);
     std::scoped_lock lock(send_mutex_);
     stream_.write_all(data);
 }
 
 std::size_t TcpTransport::recv(std::span<std::uint8_t> buf) {
+    if (apply_recv_fault(*this)) return 0;
     return stream_.read_some(buf);
 }
 
@@ -68,9 +119,11 @@ class InProcTransport final : public Transport {
     ~InProcTransport() override { close(); }
 
     void send(std::span<const std::uint8_t> data) override {
+        apply_send_fault(*this);
         tx_->push(data);
     }
     std::size_t recv(std::span<std::uint8_t> buf) override {
+        if (apply_recv_fault(*this)) return 0;
         return rx_->pop(buf);
     }
     void close() override {

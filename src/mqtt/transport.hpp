@@ -5,6 +5,12 @@
 // "hosts" against one Collect Agent without exhausting sockets, and makes
 // protocol tests deterministic; it exercises the identical codec and
 // broker logic because framing happens above this interface.
+//
+// Both implementations honor the process-wide FaultInjector (points
+// kMqttSend / kMqttRecv, see common/fault.hpp): injected errors fail one
+// send/recv with a NetError, injected drops kill the connection — this is
+// how the delivery-reliability tests simulate flaky networks and broker
+// crashes deterministically.
 #pragma once
 
 #include <condition_variable>

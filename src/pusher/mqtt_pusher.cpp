@@ -2,7 +2,6 @@
 
 #include "common/clock.hpp"
 #include "common/logging.hpp"
-#include "common/random.hpp"
 #include "core/payload.hpp"
 
 namespace dcdb::pusher {
@@ -12,7 +11,8 @@ MqttPusher::MqttPusher(ClientProvider client_provider,
                        MqttPusherConfig config)
     : client_provider_(std::move(client_provider)),
       plugins_(plugins),
-      config_(config) {}
+      config_(config),
+      jitter_rng_(config.stagger_seed ^ 0xD1CEu) {}
 
 MqttPusher::~MqttPusher() { stop(); }
 
@@ -28,33 +28,121 @@ void MqttPusher::stop() {
         return;
     }
     if (thread_.joinable()) thread_.join();
-    // Final flush so no sampled reading is lost on shutdown.
+    // Final flush so no sampled or re-queued reading is lost on an
+    // orderly shutdown; the backoff gate is bypassed — this is the last
+    // chance to deliver.
     try {
+        mqtt::MqttClient* client = client_provider_();
+        if (client) flush_retries(client, /*ignore_backoff=*/true);
         push_once();
     } catch (const std::exception& e) {
         DCDB_WARN("pusher") << "final flush failed: " << e.what();
     }
 }
 
+bool MqttPusher::publish_batch(mqtt::MqttClient* client,
+                               const std::string& topic,
+                               const std::vector<Reading>& readings) {
+    try {
+        client->publish(topic, encode_readings(readings), config_.qos);
+    } catch (const std::exception& e) {
+        publish_failures_.fetch_add(1, std::memory_order_relaxed);
+        DCDB_DEBUG("pusher") << "publish failed on " << topic << ": "
+                             << e.what();
+        return false;
+    }
+    readings_.fetch_add(readings.size(), std::memory_order_relaxed);
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void MqttPusher::bump_backoff_locked() {
+    retry_backoff_ns_ =
+        retry_backoff_ns_ == 0
+            ? config_.retry_backoff_min_ns
+            : std::min<TimestampNs>(retry_backoff_ns_ * 2,
+                                    config_.retry_backoff_max_ns);
+    // Equal-jitter: wait in [backoff/2, backoff] so a fleet of Pushers
+    // that lost the same Collect Agent does not retry in lockstep.
+    const TimestampNs half = retry_backoff_ns_ / 2;
+    retry_next_attempt_ns_ =
+        steady_ns() + half + jitter_rng_.below(half + 1);
+}
+
+void MqttPusher::requeue(std::string topic, std::vector<Reading> readings) {
+    std::scoped_lock lock(retry_mutex_);
+    readings_requeued_.fetch_add(readings.size(), std::memory_order_relaxed);
+    retry_readings_.fetch_add(readings.size(), std::memory_order_relaxed);
+    retry_queue_.push_back({std::move(topic), std::move(readings)});
+    retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+    while (retry_queue_.size() > config_.retry_max_batches) {
+        // Drop policy: oldest first, and count the loss.
+        const std::size_t lost = retry_queue_.front().readings.size();
+        retry_queue_.pop_front();
+        readings_dropped_.fetch_add(lost, std::memory_order_relaxed);
+        retry_readings_.fetch_sub(lost, std::memory_order_relaxed);
+        retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+    }
+    bump_backoff_locked();
+}
+
+std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
+                                      bool ignore_backoff) {
+    std::scoped_lock lock(retry_mutex_);
+    if (retry_queue_.empty()) return 0;
+    if (!ignore_backoff && steady_ns() < retry_next_attempt_ns_) return 0;
+
+    std::size_t sent = 0;
+    while (!retry_queue_.empty()) {
+        PendingBatch& batch = retry_queue_.front();
+        retry_publishes_.fetch_add(1, std::memory_order_relaxed);
+        if (!publish_batch(client, batch.topic, batch.readings)) {
+            bump_backoff_locked();  // still failing: wait longer
+            return sent;
+        }
+        retry_readings_.fetch_sub(batch.readings.size(),
+                                  std::memory_order_relaxed);
+        retry_queue_.pop_front();
+        retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+        ++sent;
+    }
+    retry_backoff_ns_ = 0;  // queue drained: back to normal operation
+    return sent;
+}
+
 std::size_t MqttPusher::push_once() {
     mqtt::MqttClient* client = client_provider_();
     if (!client) return 0;  // agent unreachable; retry next round
-    std::size_t sent = 0;
+    // Backlog first: keeps per-sensor batches arriving in send order.
+    std::size_t sent = flush_retries(client, /*ignore_backoff=*/false);
     for (const auto& plugin : *plugins_) {
         for (const auto& group : plugin->groups()) {
             for (const auto& sensor : group->sensors()) {
                 if (sensor->pending_count() == 0) continue;
-                const auto readings = sensor->drain_pending();
-                const auto payload = encode_readings(readings);
-                client->publish(sensor->topic(), payload, config_.qos);
-                readings_.fetch_add(readings.size(),
-                                    std::memory_order_relaxed);
-                messages_.fetch_add(1, std::memory_order_relaxed);
-                ++sent;
+                auto readings = sensor->drain_pending();
+                if (readings.empty()) continue;
+                if (publish_batch(client, sensor->topic(), readings)) {
+                    ++sent;
+                } else {
+                    requeue(sensor->topic(), std::move(readings));
+                }
             }
         }
     }
     return sent;
+}
+
+MqttPusherStats MqttPusher::stats() const {
+    MqttPusherStats s;
+    s.readings_pushed = readings_.load();
+    s.messages_sent = messages_.load();
+    s.publish_failures = publish_failures_.load();
+    s.retry_publishes = retry_publishes_.load();
+    s.readings_requeued = readings_requeued_.load();
+    s.readings_dropped = readings_dropped_.load();
+    s.retry_queue_batches = retry_batches_.load();
+    s.retry_queue_readings = retry_readings_.load();
+    return s;
 }
 
 void MqttPusher::loop() {

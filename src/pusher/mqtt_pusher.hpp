@@ -7,14 +7,27 @@
 // random stagger so thousands of Pushers do not synchronize their sends)
 // and burst mode ("regular bursts twice per minute", which reduced
 // network interference for AMG).
+//
+// Delivery reliability: a drained batch whose publish fails is never
+// discarded — it moves to a bounded retry queue and is retried with
+// exponential backoff plus jitter ahead of fresh data (preserving
+// per-sensor ordering at the Collect Agent for the common case). Only
+// when the queue bound is hit is the oldest batch dropped, and that loss
+// is counted (readings_dropped). The storage layer keys rows by
+// timestamp, so at-least-once redelivery after an unacknowledged QoS-1
+// publish deduplicates server-side.
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/random.hpp"
 #include "mqtt/client.hpp"
 #include "pusher/plugin.hpp"
 
@@ -26,6 +39,23 @@ struct MqttPusherConfig {
     TimestampNs burst_interval_ns{30 * kNsPerSec};
     std::uint8_t qos{0};
     std::uint64_t stagger_seed{0};  // derives the random send stagger
+    /// Retry queue bound, in batches (one batch = one drained sensor).
+    /// Oldest batches are dropped beyond this — DCDB favours fresh data.
+    std::size_t retry_max_batches{1024};
+    /// Exponential backoff window for retrying failed publishes.
+    TimestampNs retry_backoff_min_ns{100 * kNsPerMs};
+    TimestampNs retry_backoff_max_ns{10 * kNsPerSec};
+};
+
+struct MqttPusherStats {
+    std::uint64_t readings_pushed{0};   // successfully published only
+    std::uint64_t messages_sent{0};     // successfully published only
+    std::uint64_t publish_failures{0};  // failed publish attempts
+    std::uint64_t retry_publishes{0};   // publish attempts from the queue
+    std::uint64_t readings_requeued{0};
+    std::uint64_t readings_dropped{0};  // lost to the queue bound
+    std::size_t retry_queue_batches{0};
+    std::size_t retry_queue_readings{0};
 };
 
 /// Supplies the (re)connected MQTT client for each push round. Returns
@@ -45,14 +75,28 @@ class MqttPusher {
     void stop();
 
     /// Drain and publish once, synchronously (also used by tests and for
-    /// a final flush on shutdown).
+    /// a final flush on shutdown). Retry-queue batches go first.
     std::size_t push_once();
 
     std::uint64_t readings_pushed() const { return readings_.load(); }
     std::uint64_t messages_sent() const { return messages_.load(); }
 
+    MqttPusherStats stats() const;
+
   private:
+    struct PendingBatch {
+        std::string topic;
+        std::vector<Reading> readings;
+    };
+
     void loop();
+    /// Publish one batch; returns false (after counting the failure)
+    /// instead of throwing so callers can re-queue.
+    bool publish_batch(mqtt::MqttClient* client, const std::string& topic,
+                       const std::vector<Reading>& readings);
+    void requeue(std::string topic, std::vector<Reading> readings);
+    std::size_t flush_retries(mqtt::MqttClient* client, bool ignore_backoff);
+    void bump_backoff_locked();
 
     ClientProvider client_provider_;
     const std::vector<std::unique_ptr<Plugin>>* plugins_;
@@ -61,6 +105,21 @@ class MqttPusher {
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> readings_{0};
     std::atomic<std::uint64_t> messages_{0};
+
+    std::mutex retry_mutex_;
+    std::deque<PendingBatch> retry_queue_;
+    TimestampNs retry_backoff_ns_{0};       // 0 = not backing off
+    TimestampNs retry_next_attempt_ns_{0};  // steady-clock gate
+    Rng jitter_rng_{0xD1CEu};
+
+    // Queue depth mirrors kept atomic so stats() never blocks on a
+    // publish in flight under retry_mutex_.
+    std::atomic<std::size_t> retry_batches_{0};
+    std::atomic<std::size_t> retry_readings_{0};
+    std::atomic<std::uint64_t> publish_failures_{0};
+    std::atomic<std::uint64_t> retry_publishes_{0};
+    std::atomic<std::uint64_t> readings_requeued_{0};
+    std::atomic<std::uint64_t> readings_dropped_{0};
 };
 
 }  // namespace dcdb::pusher

@@ -1,5 +1,7 @@
 #include "pusher/pusher.hpp"
 
+#include <algorithm>
+
 #include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
@@ -49,6 +51,11 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         }
     }
 
+    reconnect_backoff_min_ns_ = config_.get_duration_ns_or(
+        "global.reconnectBackoffMin", 250 * kNsPerMs);
+    reconnect_backoff_max_ns_ = config_.get_duration_ns_or(
+        "global.reconnectBackoffMax", 10 * kNsPerSec);
+
     if (mqtt_client_ || !broker_host_.empty()) {
         MqttPusherConfig mc;
         mc.push_interval_ns =
@@ -57,6 +64,12 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         mc.qos = static_cast<std::uint8_t>(
             config_.get_i64_or("global.qos", 0));
         mc.stagger_seed = std::hash<std::string>{}(topic_prefix_);
+        mc.retry_max_batches = static_cast<std::size_t>(
+            config_.get_u64_or("global.retryQueueMax", 1024));
+        mc.retry_backoff_min_ns = config_.get_duration_ns_or(
+            "global.retryBackoffMin", 100 * kNsPerMs);
+        mc.retry_backoff_max_ns = config_.get_duration_ns_or(
+            "global.retryBackoffMax", 10 * kNsPerSec);
         mqtt_pusher_ = std::make_unique<MqttPusher>(
             [this] { return client_for_push(); }, &plugins_, mc);
     }
@@ -151,17 +164,30 @@ mqtt::MqttClient* Pusher::client_for_push() {
         return mqtt_client_.get();
     if (broker_host_.empty()) return nullptr;  // in-proc: no reconnect
 
-    // Reconnect with a 2-second backoff.
+    // Reconnect state machine: exponential backoff with equal-jitter so
+    // a fleet of Pushers does not stampede a restarted Collect Agent.
     const std::uint64_t now = steady_ns();
-    if (now - last_connect_attempt_ns_ < 2 * kNsPerSec) return nullptr;
+    if (now - last_connect_attempt_ns_ < reconnect_delay_ns_)
+        return nullptr;
     last_connect_attempt_ns_ = now;
     try {
         if (mqtt_client_) mqtt_client_->disconnect();
         mqtt_client_ = mqtt::MqttClient::connect_tcp(
             broker_host_, broker_port_, "pusher-" + topic_prefix_);
+        reconnect_backoff_ns_ = 0;
+        reconnect_delay_ns_ = 0;
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
         DCDB_INFO("pusher") << "reconnected to collect agent";
         return mqtt_client_.get();
     } catch (const NetError&) {
+        reconnect_failures_.fetch_add(1, std::memory_order_relaxed);
+        reconnect_backoff_ns_ =
+            reconnect_backoff_ns_ == 0
+                ? reconnect_backoff_min_ns_
+                : std::min<TimestampNs>(reconnect_backoff_ns_ * 2,
+                                        reconnect_backoff_max_ns_);
+        const TimestampNs half = reconnect_backoff_ns_ / 2;
+        reconnect_delay_ns_ = half + reconnect_rng_.below(half + 1);
         return nullptr;  // still down; retry after the backoff
     }
 }
@@ -177,9 +203,18 @@ PusherStats Pusher::stats() const {
     for (const auto& plugin : plugins_) s.sensors += plugin->sensor_count();
     s.samples_taken = sampler_->samples_taken();
     if (mqtt_pusher_) {
-        s.readings_pushed = mqtt_pusher_->readings_pushed();
-        s.messages_sent = mqtt_pusher_->messages_sent();
+        const auto ms = mqtt_pusher_->stats();
+        s.readings_pushed = ms.readings_pushed;
+        s.messages_sent = ms.messages_sent;
+        s.publish_failures = ms.publish_failures;
+        s.retry_publishes = ms.retry_publishes;
+        s.readings_requeued = ms.readings_requeued;
+        s.readings_dropped = ms.readings_dropped;
+        s.retry_queue_batches = ms.retry_queue_batches;
+        s.retry_queue_readings = ms.retry_queue_readings;
     }
+    s.reconnects = reconnects_.load();
+    s.reconnect_failures = reconnect_failures_.load();
     s.cache_bytes = cache_->memory_bytes();
     return s;
 }

@@ -21,12 +21,14 @@
 //   }
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/random.hpp"
 #include "core/sensor_cache.hpp"
 #include "mqtt/client.hpp"
 #include "net/http.hpp"
@@ -43,6 +45,15 @@ struct PusherStats {
     std::uint64_t readings_pushed{0};
     std::uint64_t messages_sent{0};
     std::size_t cache_bytes{0};
+    // Delivery-reliability counters (see MqttPusherStats).
+    std::uint64_t publish_failures{0};
+    std::uint64_t retry_publishes{0};
+    std::uint64_t readings_requeued{0};
+    std::uint64_t readings_dropped{0};
+    std::size_t retry_queue_batches{0};
+    std::size_t retry_queue_readings{0};
+    std::uint64_t reconnects{0};
+    std::uint64_t reconnect_failures{0};
 };
 
 class Pusher {
@@ -111,7 +122,16 @@ class Pusher {
     std::unique_ptr<mqtt::MqttClient> mqtt_client_;
     std::string broker_host_;          // empty for injected transports
     std::uint16_t broker_port_{0};
+    // Reconnect state machine: exponential backoff with jitter between
+    // attempts, reset on a successful handshake.
     std::uint64_t last_connect_attempt_ns_{0};
+    TimestampNs reconnect_backoff_ns_{0};  // 0 = next attempt immediate
+    TimestampNs reconnect_delay_ns_{0};    // current jittered wait
+    TimestampNs reconnect_backoff_min_ns_{250 * kNsPerMs};
+    TimestampNs reconnect_backoff_max_ns_{10 * kNsPerSec};
+    Rng reconnect_rng_{0xC0FFEEu};
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> reconnect_failures_{0};
     std::unique_ptr<MqttPusher> mqtt_pusher_;
     std::unique_ptr<HttpServer> rest_server_;
     bool started_{false};

@@ -70,6 +70,26 @@ HttpResponse handle_plugins(Pusher& pusher, const HttpRequest& req) {
     return HttpResponse::bad_request("unknown action: " + action + "\n");
 }
 
+HttpResponse handle_stats(Pusher& pusher) {
+    const auto s = pusher.stats();
+    std::ostringstream os;
+    os << "plugins " << s.plugins << "\n"
+       << "sensors " << s.sensors << "\n"
+       << "samples_taken " << s.samples_taken << "\n"
+       << "readings_pushed " << s.readings_pushed << "\n"
+       << "messages_sent " << s.messages_sent << "\n"
+       << "publish_failures " << s.publish_failures << "\n"
+       << "retry_publishes " << s.retry_publishes << "\n"
+       << "readings_requeued " << s.readings_requeued << "\n"
+       << "readings_dropped " << s.readings_dropped << "\n"
+       << "retry_queue_batches " << s.retry_queue_batches << "\n"
+       << "retry_queue_readings " << s.retry_queue_readings << "\n"
+       << "reconnects " << s.reconnects << "\n"
+       << "reconnect_failures " << s.reconnect_failures << "\n"
+       << "cache_bytes " << s.cache_bytes << "\n";
+    return HttpResponse::ok(os.str());
+}
+
 }  // namespace
 
 std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
@@ -81,9 +101,10 @@ std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
                 return handle_plugins(pusher, req);
             if (req.path == "/config")
                 return HttpResponse::ok(pusher.config().to_string());
+            if (req.path == "/stats") return handle_stats(pusher);
             if (req.path == "/")
                 return HttpResponse::ok(
-                    "dcdb pusher: /sensors /plugins /config\n");
+                    "dcdb pusher: /sensors /plugins /config /stats\n");
             return HttpResponse::not_found();
         });
 }

@@ -15,6 +15,7 @@ StoreCluster::StoreCluster(ClusterConfig config) : config_(std::move(config)) {
         nc.data_dir = config_.base_dir + "/node" + std::to_string(i);
         nc.memtable_flush_bytes = config_.memtable_flush_bytes;
         nc.commitlog_enabled = config_.commitlog_enabled;
+        nc.commitlog_sync_every = config_.commitlog_sync_every;
         nodes_.push_back(std::make_unique<StorageNode>(std::move(nc)));
     }
 }

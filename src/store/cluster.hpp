@@ -25,6 +25,8 @@ struct ClusterConfig {
     std::string partitioner{"hierarchy"};
     std::size_t memtable_flush_bytes{8u << 20};
     bool commitlog_enabled{true};
+    /// Per-node commit-log fdatasync cadence (see NodeConfig).
+    std::size_t commitlog_sync_every{256};
 };
 
 struct ClusterStats {

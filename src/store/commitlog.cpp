@@ -2,8 +2,13 @@
 
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "common/bytebuf.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "store/murmur.hpp"
 
 namespace dcdb::store {
@@ -25,10 +30,21 @@ CommitLog::CommitLog(std::string path) : path_(std::move(path)) {
 }
 
 CommitLog::~CommitLog() {
-    if (file_) std::fclose(file_);
+    if (!file_) return;
+    // Best-effort durability on orderly shutdown; a crash relies on the
+    // periodic sync() cadence instead.
+    std::fflush(file_);
+#ifndef _WIN32
+    ::fdatasync(::fileno(file_));
+#endif
+    std::fclose(file_);
 }
 
 void CommitLog::append(const Key& key, const Row& row) {
+    if (FaultInjector::instance().roll(FaultPoint::kCommitLogAppend) ==
+        FaultAction::kError)
+        throw StoreError("injected commit log fault: " + path_);
+
     ByteWriter w(kRecordBytes);
     std::uint8_t kb[Key::kBytes];
     key.serialize(kb);
@@ -46,7 +62,13 @@ void CommitLog::append(const Key& key, const Row& row) {
 
 void CommitLog::sync() {
     std::scoped_lock lock(mutex_);
-    std::fflush(file_);
+    if (std::fflush(file_) != 0)
+        throw StoreError("commit log flush failed: " + path_);
+#ifndef _WIN32
+    if (::fdatasync(::fileno(file_)) != 0)
+        throw StoreError("commit log fdatasync failed: " + path_);
+#endif
+    ++syncs_;
 }
 
 void CommitLog::reset() {
@@ -57,13 +79,13 @@ void CommitLog::reset() {
     records_ = 0;
 }
 
-std::uint64_t CommitLog::replay(
+CommitLog::ReplayResult CommitLog::replay(
     const std::string& path,
     const std::function<void(const Key&, const Row&)>& apply) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (!f) return 0;  // no log, nothing to recover
+    if (!f) return {};  // no log, nothing to recover
 
-    std::uint64_t recovered = 0;
+    ReplayResult result;
     std::vector<std::uint8_t> rec(kRecordBytes);
     while (std::fread(rec.data(), 1, rec.size(), f) == rec.size()) {
         ByteReader r(rec);
@@ -78,10 +100,11 @@ std::uint64_t CommitLog::replay(
         const std::uint32_t crc = r.u32be();
         if (crc != record_crc(body)) break;  // corrupt tail: stop replay
         apply(key, row);
-        ++recovered;
+        ++result.records;
+        result.valid_bytes += kRecordBytes;
     }
     std::fclose(f);
-    return recovered;
+    return result;
 }
 
 }  // namespace dcdb::store

@@ -1,7 +1,10 @@
 // Append-only commit log for durability between memtable flushes
 // (Cassandra's commit-log role). Each record carries a checksum; replay
 // stops at the first corrupt or truncated record, recovering everything
-// durably appended before a crash.
+// durably appended before a crash, and reports the byte offset of the
+// valid prefix so the caller can truncate the torn tail before reopening
+// the log in append mode — otherwise post-crash appends would land after
+// garbage and be unreachable on the next replay.
 #pragma once
 
 #include <cstdio>
@@ -25,8 +28,9 @@ class CommitLog {
 
     void append(const Key& key, const Row& row);
 
-    /// Flush buffered writes to the OS (not fsync; matches Cassandra's
-    /// default periodic-commitlog-sync durability level).
+    /// Durable flush: fflush to the OS, then fdatasync to the device.
+    /// This is the crash-durability point — Cassandra's "batch" sync
+    /// level; StorageNode calls it every commitlog_sync_every appends.
     void sync();
 
     /// Truncate after a successful memtable flush.
@@ -34,10 +38,16 @@ class CommitLog {
 
     const std::string& path() const { return path_; }
     std::uint64_t records_appended() const { return records_; }
+    std::uint64_t syncs() const { return syncs_; }
 
-    /// Replay a log file in append order; invoked for each intact record.
-    /// Returns the number of records recovered.
-    static std::uint64_t replay(
+    struct ReplayResult {
+        std::uint64_t records{0};      // intact records recovered
+        std::uint64_t valid_bytes{0};  // offset of the first torn byte
+    };
+
+    /// Replay a log file in append order; `apply` is invoked for each
+    /// intact record. Replay stops at the first corrupt or short record.
+    static ReplayResult replay(
         const std::string& path,
         const std::function<void(const Key&, const Row&)>& apply);
 
@@ -46,6 +56,7 @@ class CommitLog {
     std::FILE* file_{nullptr};
     std::mutex mutex_;
     std::uint64_t records_{0};
+    std::uint64_t syncs_{0};
 };
 
 }  // namespace dcdb::store

@@ -1,11 +1,14 @@
 #include "store/node.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <thread>
 
 #include "common/clock.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
 
@@ -43,11 +46,26 @@ StorageNode::StorageNode(NodeConfig config) : config_(std::move(config)) {
 
     // Recover writes that never made it into an SSTable.
     const std::string log_path = config_.data_dir + "/commit.log";
-    const std::uint64_t recovered =
+    const auto recovered =
         CommitLog::replay(log_path, [this](const Key& key, const Row& row) {
             memtable_.insert(key, row);
         });
-    (void)recovered;
+
+    // Truncate a torn tail (crash mid-append) before reopening in append
+    // mode: new records written after leftover garbage would be
+    // unreachable on every later replay.
+    std::error_code ec;
+    const auto log_size = fs::file_size(log_path, ec);
+    if (!ec && log_size > recovered.valid_bytes) {
+        DCDB_WARN("store") << "commit log " << log_path << ": truncating "
+                           << (log_size - recovered.valid_bytes)
+                           << " torn tail bytes after "
+                           << recovered.records << " intact records";
+        fs::resize_file(log_path, recovered.valid_bytes, ec);
+        if (ec)
+            throw StoreError("cannot truncate torn commit log tail: " +
+                             log_path);
+    }
     if (config_.commitlog_enabled)
         commitlog_ = std::make_unique<CommitLog>(log_path);
 }
@@ -58,6 +76,23 @@ std::string StorageNode::sstable_path(std::uint64_t generation) const {
 
 void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
                          std::uint32_t ttl_s) {
+    // Fault hook: errors model a transiently failing storage server
+    // (callers are expected to retry), drops model silent write loss
+    // (exists so loss-detection tests can prove they detect it).
+    auto& injector = FaultInjector::instance();
+    switch (injector.roll(FaultPoint::kStoreInsert)) {
+        case FaultAction::kNone:
+            break;
+        case FaultAction::kError:
+            throw StoreError("injected store insert fault");
+        case FaultAction::kDrop:
+            return;
+        case FaultAction::kDelay:
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                injector.delay_ns(FaultPoint::kStoreInsert)));
+            break;
+    }
+
     Row row;
     row.ts = ts;
     row.value = value;
@@ -67,7 +102,14 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
             : static_cast<std::uint32_t>(ts / kNsPerSec + ttl_s);
 
     std::unique_lock lock(mutex_);
-    if (commitlog_) commitlog_->append(key, row);
+    if (commitlog_) {
+        commitlog_->append(key, row);
+        if (config_.commitlog_sync_every != 0 &&
+            ++appends_since_sync_ >= config_.commitlog_sync_every) {
+            commitlog_->sync();
+            appends_since_sync_ = 0;
+        }
+    }
     memtable_.insert(key, row);
     writes_.fetch_add(1, std::memory_order_relaxed);
     if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
@@ -112,7 +154,10 @@ void StorageNode::flush_locked() {
     sstables_.push_back(
         SsTable::write(sstable_path(gen), gen, memtable_.partitions()));
     memtable_.clear();
-    if (commitlog_) commitlog_->reset();
+    if (commitlog_) {
+        commitlog_->reset();
+        appends_since_sync_ = 0;
+    }
     ++flushes_;
 }
 
@@ -192,6 +237,7 @@ NodeStats StorageNode::stats() const {
     s.sstables = sstables_.size();
     s.memtable_rows = memtable_.row_count();
     for (const auto& table : sstables_) s.disk_bytes += table->file_bytes();
+    if (commitlog_) s.commitlog_syncs = commitlog_->syncs();
     return s;
 }
 

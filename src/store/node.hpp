@@ -19,6 +19,9 @@ struct NodeConfig {
     std::string data_dir;
     std::size_t memtable_flush_bytes{8u << 20};
     bool commitlog_enabled{true};
+    /// fdatasync the commit log every N appends (0 = only on close).
+    /// Bounds post-crash loss to at most N readings per node.
+    std::size_t commitlog_sync_every{256};
 };
 
 struct NodeStats {
@@ -29,6 +32,7 @@ struct NodeStats {
     std::size_t sstables{0};
     std::size_t memtable_rows{0};
     std::uint64_t disk_bytes{0};
+    std::uint64_t commitlog_syncs{0};
 };
 
 class StorageNode {
@@ -70,6 +74,7 @@ class StorageNode {
     mutable std::shared_mutex mutex_;
     Memtable memtable_;
     std::unique_ptr<CommitLog> commitlog_;
+    std::size_t appends_since_sync_{0};
     std::vector<std::unique_ptr<SsTable>> sstables_;  // ascending generation
     std::uint64_t next_generation_{1};
     mutable std::atomic<std::uint64_t> writes_{0};

@@ -69,11 +69,15 @@ int main(int argc, char** argv) {
                 const auto stats = agent.stats();
                 std::printf(
                     "dcdbcollectagent: %llu messages, %llu readings, "
-                    "%zu sensors, %llu decode errors\n",
+                    "%zu sensors, %llu decode errors, %llu store errors "
+                    "(%llu retries, %llu dead-lettered)\n",
                     static_cast<unsigned long long>(stats.messages),
                     static_cast<unsigned long long>(stats.readings),
                     stats.known_sensors,
-                    static_cast<unsigned long long>(stats.decode_errors));
+                    static_cast<unsigned long long>(stats.decode_errors),
+                    static_cast<unsigned long long>(stats.store_errors),
+                    static_cast<unsigned long long>(stats.store_retries),
+                    static_cast<unsigned long long>(stats.dead_letters));
             }
         }
         std::printf("dcdbcollectagent: shutting down\n");

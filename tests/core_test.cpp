@@ -215,6 +215,21 @@ TEST(SensorCache, GrowsWhenIntervalHintTooCoarse) {
     EXPECT_EQ(cache.view(0, kTimestampMax).size(), 100u);
 }
 
+TEST(SensorCache, GrowsForTimestampsSmallerThanWindow) {
+    // Early-boot / test clocks: every timestamp is smaller than the
+    // window, so everything is in-window and nothing may be evicted. The
+    // unsigned window-start subtraction must not underflow and force
+    // eviction instead of growth.
+    SensorCache cache(100 * kNsPerSec, 50 * kNsPerSec);  // tiny ring
+    for (TimestampNs t = 1; t <= 50; ++t)
+        cache.push({t, static_cast<Value>(t)});
+    EXPECT_EQ(cache.size(), 50u);
+    const auto view = cache.view(0, kTimestampMax);
+    ASSERT_EQ(view.size(), 50u);
+    EXPECT_EQ(view.front().value, 1);
+    EXPECT_EQ(view.back().value, 50);
+}
+
 TEST(SensorCache, AverageOverHorizon) {
     SensorCache cache(100 * kNsPerSec, kNsPerSec);
     for (TimestampNs t = 1; t <= 10; ++t)

@@ -304,7 +304,8 @@ TEST(CommitLog, AppendAndReplay) {
     std::vector<std::pair<Key, Row>> seen;
     const auto n = CommitLog::replay(
         path, [&](const Key& k, const Row& r) { seen.emplace_back(k, r); });
-    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(n.records, 2u);
+    EXPECT_EQ(n.valid_bytes, fs::file_size(path));
     ASSERT_EQ(seen.size(), 2u);
     EXPECT_EQ(seen[0].first, make_key(1));
     EXPECT_EQ(seen[1].second.value, 200);
