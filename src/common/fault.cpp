@@ -56,7 +56,7 @@ FaultAction FaultInjector::roll(FaultPoint point) {
 
 TimestampNs FaultInjector::delay_ns(FaultPoint point) const {
     const Slot& s = slot(point);
-    std::scoped_lock lock(const_cast<std::mutex&>(s.mutex));
+    std::scoped_lock lock(s.mutex);
     return s.spec.delay_ns;
 }
 

@@ -72,7 +72,7 @@ class FaultInjector {
         std::atomic<bool> armed{false};
         std::atomic<std::uint64_t> injected{0};
         std::atomic<std::uint64_t> rolls{0};
-        std::mutex mutex;  // guards spec/rng/triggers
+        mutable std::mutex mutex;  // guards spec/rng/triggers
         FaultSpec spec;
         Rng rng{42};
         std::uint64_t triggers{0};

@@ -80,10 +80,10 @@ void MqttBroker::session_loop(Session* session) {
 
             if (auto* connect = std::get_if<Connect>(&*packet)) {
                 session->client_id = connect->client_id;
-                session->connected = true;
+                session->connected.store(true, std::memory_order_release);
                 connections_.fetch_add(1, std::memory_order_relaxed);
                 session->stream.write_packet(Connack{0, false});
-            } else if (!session->connected) {
+            } else if (!session->connected.load(std::memory_order_relaxed)) {
                 throw ProtocolError("packet before CONNECT");
             } else if (auto* pub = std::get_if<Publish>(&*packet)) {
                 handle_publish(session, *pub);
@@ -153,7 +153,7 @@ void MqttBroker::route(const Publish& p) {
     out.packet_id = 0;
     std::scoped_lock lock(mutex_);
     for (auto& session : sessions_) {
-        if (!session->connected) continue;
+        if (!session->connected.load(std::memory_order_acquire)) continue;
         for (const auto& filter : session->filters) {
             if (topic_matches(filter, p.topic)) {
                 try {

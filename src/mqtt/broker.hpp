@@ -68,7 +68,10 @@ class MqttBroker {
         PacketStream stream;
         std::vector<std::string> filters;  // guarded by broker mutex
         std::string client_id;
-        bool connected{false};
+        // Written by the session's own thread, read by route() on other
+        // session threads — atomic, not mutex-guarded, so the CONNECT
+        // path never contends with routing.
+        std::atomic<bool> connected{false};
         std::thread thread;
     };
 

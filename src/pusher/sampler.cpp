@@ -25,8 +25,8 @@ void Sampler::remove_groups(const std::vector<SensorGroup*>& groups) {
 
 void Sampler::start() {
     std::scoped_lock lock(mutex_);
-    if (running_) return;
-    running_ = true;
+    if (running_.load(std::memory_order_relaxed)) return;
+    running_.store(true, std::memory_order_relaxed);
     threads_.reserve(static_cast<std::size_t>(thread_count_));
     for (int t = 0; t < thread_count_; ++t)
         threads_.emplace_back([this] { worker_loop(); });
@@ -35,8 +35,8 @@ void Sampler::start() {
 void Sampler::stop() {
     {
         std::scoped_lock lock(mutex_);
-        if (!running_) return;
-        running_ = false;
+        if (!running_.load(std::memory_order_relaxed)) return;
+        running_.store(false, std::memory_order_relaxed);
     }
     cv_.notify_all();
     for (auto& t : threads_) {
@@ -47,9 +47,12 @@ void Sampler::stop() {
 
 void Sampler::worker_loop() {
     std::unique_lock lock(mutex_);
-    while (running_) {
+    while (running_.load(std::memory_order_relaxed)) {
         if (queue_.empty()) {
-            cv_.wait(lock, [this] { return !running_ || !queue_.empty(); });
+            cv_.wait(lock, [this] {
+                return !running_.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+            });
             continue;
         }
         Scheduled next = queue_.top();

@@ -13,6 +13,7 @@
 // itself.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <queue>
@@ -42,7 +43,7 @@ class Sampler {
 
     void start();
     void stop();
-    bool running() const { return running_; }
+    bool running() const { return running_.load(std::memory_order_relaxed); }
 
     std::uint64_t samples_taken() const { return samples_.load(); }
 
@@ -65,7 +66,9 @@ class Sampler {
         queue_;
     std::vector<SensorGroup*> removed_;
     std::vector<std::thread> threads_;
-    bool running_{false};
+    // Written under mutex_ (so cv waits stay race-free) but read by the
+    // lock-free running() probe — hence atomic.
+    std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> samples_{0};
 };
 

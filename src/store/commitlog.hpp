@@ -7,6 +7,7 @@
 // garbage and be unreachable on the next replay.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <mutex>
@@ -37,8 +38,12 @@ class CommitLog {
     void reset();
 
     const std::string& path() const { return path_; }
-    std::uint64_t records_appended() const { return records_; }
-    std::uint64_t syncs() const { return syncs_; }
+    std::uint64_t records_appended() const {
+        return records_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t syncs() const {
+        return syncs_.load(std::memory_order_relaxed);
+    }
 
     struct ReplayResult {
         std::uint64_t records{0};      // intact records recovered
@@ -55,8 +60,9 @@ class CommitLog {
     std::string path_;
     std::FILE* file_{nullptr};
     std::mutex mutex_;
-    std::uint64_t records_{0};
-    std::uint64_t syncs_{0};
+    // Counters are read by stats paths without the mutex.
+    std::atomic<std::uint64_t> records_{0};
+    std::atomic<std::uint64_t> syncs_{0};
 };
 
 }  // namespace dcdb::store
