@@ -72,6 +72,7 @@ bool CollectAgent::insert_with_retry(const SensorId& sid,
                 return false;
             }
             store_retries_.fetch_add(1, std::memory_order_relaxed);
+            // dcdblint: allow-sleep (bounded retry backoff, worker thread)
             std::this_thread::sleep_for(std::chrono::nanoseconds(
                 store_retry_backoff_ns_
                 << std::min<std::uint32_t>(attempt, 10)));

@@ -28,6 +28,7 @@ constexpr TimestampNs next_aligned(TimestampNs t, TimestampNs interval_ns) {
 }
 
 /// Sleep until the given wall-clock timestamp (no-op if in the past).
+// dcdblint: allow-sleep (declaration of the sanctioned facility)
 void sleep_until_ns(TimestampNs wall_ns);
 
 /// Scope timer measuring elapsed steady-clock nanoseconds.

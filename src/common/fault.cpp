@@ -10,7 +10,7 @@ FaultInjector& FaultInjector::instance() {
 void FaultInjector::arm(FaultPoint point, FaultSpec spec,
                         std::uint64_t seed) {
     Slot& s = slot(point);
-    std::scoped_lock lock(s.mutex);
+    MutexLock lock(s.mutex);
     s.spec = spec;
     s.rng = Rng(seed);
     s.triggers = 0;
@@ -31,7 +31,7 @@ FaultAction FaultInjector::roll(FaultPoint point) {
     Slot& s = slot(point);
     if (!s.armed.load(std::memory_order_acquire)) return FaultAction::kNone;
 
-    std::scoped_lock lock(s.mutex);
+    MutexLock lock(s.mutex);
     if (!s.armed.load(std::memory_order_relaxed)) return FaultAction::kNone;
     s.rolls.fetch_add(1, std::memory_order_relaxed);
 
@@ -56,7 +56,7 @@ FaultAction FaultInjector::roll(FaultPoint point) {
 
 TimestampNs FaultInjector::delay_ns(FaultPoint point) const {
     const Slot& s = slot(point);
-    std::scoped_lock lock(s.mutex);
+    MutexLock lock(s.mutex);
     return s.spec.delay_ns;
 }
 

@@ -14,8 +14,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "common/random.hpp"
 #include "common/types.hpp"
 
@@ -72,10 +72,10 @@ class FaultInjector {
         std::atomic<bool> armed{false};
         std::atomic<std::uint64_t> injected{0};
         std::atomic<std::uint64_t> rolls{0};
-        mutable std::mutex mutex;  // guards spec/rng/triggers
-        FaultSpec spec;
-        Rng rng{42};
-        std::uint64_t triggers{0};
+        mutable Mutex mutex;
+        FaultSpec spec DCDB_GUARDED_BY(mutex);
+        Rng rng DCDB_GUARDED_BY(mutex){42};
+        std::uint64_t triggers DCDB_GUARDED_BY(mutex){0};
     };
 
     Slot& slot(FaultPoint point) {

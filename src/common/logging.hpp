@@ -28,8 +28,7 @@ class Logger {
                level_.load(std::memory_order_relaxed);
     }
 
-    void write(LogLevel lvl, const std::string& component,
-               const std::string& msg);
+    void write(LogLevel lvl, const char* component, const std::string& msg);
 
   private:
     Logger() = default;
@@ -52,7 +51,9 @@ class LogLine {
 
   private:
     LogLevel lvl_;
-    std::string component_;
+    // Callers pass string literals via the DCDB_* macros; keeping the
+    // pointer avoids a std::string allocation per emitted line.
+    const char* component_;
     std::ostringstream os_;
 };
 

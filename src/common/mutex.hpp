@@ -1,0 +1,144 @@
+// Annotated synchronization primitives.
+//
+// Thin zero-overhead wrappers over the std primitives that carry Clang's
+// capability attributes (see common/thread_annotations.hpp), so every
+// lock in the concurrent layers participates in -Wthread-safety. The
+// wrappers compile to exactly the wrapped std operations; on GCC the
+// attributes vanish and nothing else changes.
+//
+// Condition waits: CondVar works directly on dcdb::Mutex and its wait
+// functions are annotated DCDB_REQUIRES(m) — the analysis treats the
+// mutex as continuously held across the wait, which matches how callers
+// must reason about their guarded state (re-check after every wake-up).
+// Prefer explicit `while (...) cv.wait(m);` loops over predicate lambdas:
+// the analysis cannot see that a lambda body runs with the lock held, so
+// guarded-member access inside wait predicates would be flagged.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace dcdb {
+
+/// Exclusive mutex (std::mutex) annotated as a capability.
+class DCDB_CAPABILITY("mutex") Mutex {
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() DCDB_ACQUIRE() { m_.lock(); }
+    void unlock() DCDB_RELEASE() { m_.unlock(); }
+    bool try_lock() DCDB_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex m_;
+};
+
+/// Reader/writer mutex (std::shared_mutex) annotated as a capability.
+class DCDB_CAPABILITY("shared_mutex") SharedMutex {
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() DCDB_ACQUIRE() { m_.lock(); }
+    void unlock() DCDB_RELEASE() { m_.unlock(); }
+    void lock_shared() DCDB_ACQUIRE_SHARED() { m_.lock_shared(); }
+    void unlock_shared() DCDB_RELEASE_SHARED() { m_.unlock_shared(); }
+
+  private:
+    std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock (the annotated std::scoped_lock equivalent).
+class DCDB_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& m) DCDB_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() DCDB_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& m_;
+};
+
+/// Scoped exclusive lock on a SharedMutex (writers).
+class DCDB_SCOPED_CAPABILITY WriterLock {
+  public:
+    explicit WriterLock(SharedMutex& m) DCDB_ACQUIRE(m) : m_(m) {
+        m_.lock();
+    }
+    ~WriterLock() DCDB_RELEASE() { m_.unlock(); }
+
+    WriterLock(const WriterLock&) = delete;
+    WriterLock& operator=(const WriterLock&) = delete;
+
+  private:
+    SharedMutex& m_;
+};
+
+/// Scoped shared lock on a SharedMutex (readers).
+class DCDB_SCOPED_CAPABILITY ReaderLock {
+  public:
+    explicit ReaderLock(SharedMutex& m) DCDB_ACQUIRE_SHARED(m) : m_(m) {
+        m_.lock_shared();
+    }
+    ~ReaderLock() DCDB_RELEASE_SHARED() { m_.unlock_shared(); }
+
+    ReaderLock(const ReaderLock&) = delete;
+    ReaderLock& operator=(const ReaderLock&) = delete;
+
+  private:
+    SharedMutex& m_;
+};
+
+/// Condition variable working directly on dcdb::Mutex. All wait functions
+/// require the mutex held; they release it for the duration of the block
+/// and reacquire before returning (std::condition_variable semantics).
+class CondVar {
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+    void wait(Mutex& m) DCDB_REQUIRES(m) {
+        std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+        cv_.wait(lk);
+        lk.release();  // ownership stays with the caller's scoped lock
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(Mutex& m,
+                            std::chrono::duration<Rep, Period> timeout)
+        DCDB_REQUIRES(m) {
+        std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+        const auto status = cv_.wait_for(lk, timeout);
+        lk.release();
+        return status;
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status wait_until(
+        Mutex& m, std::chrono::time_point<Clock, Duration> deadline)
+        DCDB_REQUIRES(m) {
+        std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+        const auto status = cv_.wait_until(lk, deadline);
+        lk.release();
+        return status;
+    }
+
+  private:
+    std::condition_variable cv_;
+};
+
+}  // namespace dcdb

@@ -8,7 +8,7 @@ namespace dcdb {
 void SensorTree::add(const std::string& topic) {
     const std::string normalized = normalize_sensor_topic(topic);
     const auto levels = split_nonempty(normalized, '/');
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::string path;
     for (const auto& level : levels) {
         children_[path.empty() ? "/" : path].insert(level);
@@ -19,7 +19,7 @@ void SensorTree::add(const std::string& topic) {
 
 std::vector<std::string> SensorTree::children(const std::string& path) const {
     std::string key = path.empty() ? "/" : normalize_sensor_topic(path);
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = children_.find(key);
     if (it == children_.end()) return {};
     return {it->second.begin(), it->second.end()};
@@ -29,7 +29,7 @@ std::vector<std::string> SensorTree::sensors_below(
     const std::string& path) const {
     const std::string prefix =
         path.empty() || path == "/" ? "/" : normalize_sensor_topic(path);
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     for (const auto& sensor : sensors_) {
         if (prefix == "/" || sensor == prefix ||
@@ -42,12 +42,12 @@ std::vector<std::string> SensorTree::sensors_below(
 }
 
 bool SensorTree::is_sensor(const std::string& path) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return sensors_.count(normalize_sensor_topic(path)) > 0;
 }
 
 std::size_t SensorTree::sensor_count() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return sensors_.size();
 }
 

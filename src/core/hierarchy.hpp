@@ -9,33 +9,38 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace dcdb {
 
 class SensorTree {
   public:
     /// Register a sensor topic ("/sys/rack0/node1/power").
-    void add(const std::string& topic);
+    void add(const std::string& topic) DCDB_EXCLUDES(mutex_);
 
     /// Child level names under `path` ("" or "/" = root).
-    std::vector<std::string> children(const std::string& path) const;
+    std::vector<std::string> children(const std::string& path) const
+        DCDB_EXCLUDES(mutex_);
 
     /// Full topics of all sensors at or below `path`, sorted.
-    std::vector<std::string> sensors_below(const std::string& path) const;
+    std::vector<std::string> sensors_below(const std::string& path) const
+        DCDB_EXCLUDES(mutex_);
 
     /// True if `path` is itself a registered sensor (a leaf).
-    bool is_sensor(const std::string& path) const;
+    bool is_sensor(const std::string& path) const DCDB_EXCLUDES(mutex_);
 
-    std::size_t sensor_count() const;
+    std::size_t sensor_count() const DCDB_EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::set<std::string>> children_;  // path -> names
-    std::set<std::string> sensors_;                          // leaf topics
+    mutable Mutex mutex_;
+    // path -> names
+    std::map<std::string, std::set<std::string>> children_
+        DCDB_GUARDED_BY(mutex_);
+    std::set<std::string> sensors_ DCDB_GUARDED_BY(mutex_);  // leaf topics
 };
 
 }  // namespace dcdb

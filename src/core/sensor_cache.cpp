@@ -80,7 +80,7 @@ std::optional<double> SensorCache::average(TimestampNs horizon_ns) const {
 
 void CacheSet::push(const std::string& topic, const Reading& r,
                     TimestampNs interval_hint_ns) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = caches_.find(topic);
     if (it == caches_.end()) {
         it = caches_
@@ -93,7 +93,7 @@ void CacheSet::push(const std::string& topic, const Reading& r,
 }
 
 std::optional<Reading> CacheSet::latest(const std::string& topic) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = caches_.find(topic);
     if (it == caches_.end()) return std::nullopt;
     return it->second.latest();
@@ -101,7 +101,7 @@ std::optional<Reading> CacheSet::latest(const std::string& topic) const {
 
 std::vector<Reading> CacheSet::view(const std::string& topic, TimestampNs t0,
                                     TimestampNs t1) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = caches_.find(topic);
     if (it == caches_.end()) return {};
     return it->second.view(t0, t1);
@@ -109,14 +109,14 @@ std::vector<Reading> CacheSet::view(const std::string& topic, TimestampNs t0,
 
 std::optional<double> CacheSet::average(const std::string& topic,
                                         TimestampNs horizon_ns) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = caches_.find(topic);
     if (it == caches_.end()) return std::nullopt;
     return it->second.average(horizon_ns);
 }
 
 std::vector<std::string> CacheSet::topics() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(caches_.size());
     for (const auto& [topic, cache] : caches_) out.push_back(topic);
@@ -125,12 +125,12 @@ std::vector<std::string> CacheSet::topics() const {
 }
 
 std::size_t CacheSet::sensor_count() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return caches_.size();
 }
 
 std::size_t CacheSet::memory_bytes() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t total = 0;
     for (const auto& [topic, cache] : caches_)
         total += cache.memory_bytes() + topic.size();

@@ -9,12 +9,12 @@
 // allocation-free on the sampling hot path once warm.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 
 namespace dcdb {
@@ -67,23 +67,26 @@ class CacheSet {
 
     /// Insert a reading for `topic`, creating the cache on first sight.
     void push(const std::string& topic, const Reading& r,
-              TimestampNs interval_hint_ns = kNsPerSec);
+              TimestampNs interval_hint_ns = kNsPerSec) DCDB_EXCLUDES(mutex_);
 
-    std::optional<Reading> latest(const std::string& topic) const;
+    std::optional<Reading> latest(const std::string& topic) const
+        DCDB_EXCLUDES(mutex_);
     std::vector<Reading> view(const std::string& topic, TimestampNs t0,
-                              TimestampNs t1) const;
+                              TimestampNs t1) const DCDB_EXCLUDES(mutex_);
     std::optional<double> average(const std::string& topic,
-                                  TimestampNs horizon_ns) const;
+                                  TimestampNs horizon_ns) const
+        DCDB_EXCLUDES(mutex_);
 
-    std::vector<std::string> topics() const;
-    std::size_t sensor_count() const;
-    std::size_t memory_bytes() const;
+    std::vector<std::string> topics() const DCDB_EXCLUDES(mutex_);
+    std::size_t sensor_count() const DCDB_EXCLUDES(mutex_);
+    std::size_t memory_bytes() const DCDB_EXCLUDES(mutex_);
     TimestampNs window_ns() const { return window_ns_; }
 
   private:
     TimestampNs window_ns_;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, SensorCache> caches_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, SensorCache> caches_
+        DCDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcdb

@@ -58,7 +58,7 @@ SensorId TopicMapper::to_sid(const std::string& topic) {
         throw Error("topic exceeds " + std::to_string(kSidLevels) +
                     " hierarchy levels: " + topic);
 
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     SensorId sid;
     for (std::size_t i = 0; i < levels.size(); ++i) {
         auto& dict = forward_[i];
@@ -87,7 +87,7 @@ SensorId TopicMapper::to_sid(const std::string& topic) {
 }
 
 std::string TopicMapper::to_topic(const SensorId& sid) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::string out;
     for (std::size_t i = 0; i < kSidLevels; ++i) {
         const std::uint16_t id = sid.level(i);
@@ -106,7 +106,7 @@ std::string TopicMapper::to_topic(const SensorId& sid) const {
 bool TopicMapper::lookup(const std::string& topic, SensorId& out) const {
     const auto levels = split_nonempty(normalize_sensor_topic(topic), '/');
     if (levels.empty() || levels.size() > kSidLevels) return false;
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     SensorId sid;
     for (std::size_t i = 0; i < levels.size(); ++i) {
         const auto it = forward_[i].find(levels[i]);
@@ -118,7 +118,7 @@ bool TopicMapper::lookup(const std::string& topic, SensorId& out) const {
 }
 
 std::size_t TopicMapper::known_topics() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return known_topics_;
 }
 

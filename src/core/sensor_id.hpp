@@ -18,11 +18,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "store/key.hpp"
 #include "store/metastore.hpp"
@@ -84,26 +84,29 @@ class TopicMapper {
 
     /// Map a topic to its SID, allocating component numbers on first
     /// sight. Throws Error for invalid topics or >8 levels.
-    SensorId to_sid(const std::string& topic);
+    SensorId to_sid(const std::string& topic) DCDB_EXCLUDES(mutex_);
 
     /// Reverse lookup. Throws Error if the SID was never allocated.
-    std::string to_topic(const SensorId& sid) const;
+    std::string to_topic(const SensorId& sid) const DCDB_EXCLUDES(mutex_);
 
     /// Lookup without allocating; false if the topic is unknown.
-    bool lookup(const std::string& topic, SensorId& out) const;
+    bool lookup(const std::string& topic, SensorId& out) const
+        DCDB_EXCLUDES(mutex_);
 
-    std::size_t known_topics() const;
+    std::size_t known_topics() const DCDB_EXCLUDES(mutex_);
 
   private:
     store::MetaStore& meta_;
-    mutable std::mutex mutex_;
-    // Per-level dictionaries.
+    mutable Mutex mutex_;
+    // Per-level dictionaries. meta_ has its own internal lock; it is
+    // only written while mutex_ is held (dictionary allocation), so the
+    // lock order is always mutex_ -> MetaStore::mutex_.
     std::array<std::unordered_map<std::string, std::uint16_t>, kSidLevels>
-        forward_;
+        forward_ DCDB_GUARDED_BY(mutex_);
     std::array<std::unordered_map<std::uint16_t, std::string>, kSidLevels>
-        reverse_;
-    std::array<std::uint16_t, kSidLevels> next_id_{};
-    std::size_t known_topics_{0};
+        reverse_ DCDB_GUARDED_BY(mutex_);
+    std::array<std::uint16_t, kSidLevels> next_id_ DCDB_GUARDED_BY(mutex_){};
+    std::size_t known_topics_ DCDB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace dcdb

@@ -26,7 +26,7 @@ void MqttBroker::stop() {
     std::list<std::unique_ptr<Session>> sessions;
     std::vector<std::unique_ptr<Session>> finished;
     {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
         sessions.swap(sessions_);
         finished.swap(finished_);
     }
@@ -59,7 +59,7 @@ std::unique_ptr<Transport> MqttBroker::connect_inproc() {
 void MqttBroker::attach(std::unique_ptr<Transport> transport) {
     auto session = std::make_unique<Session>(std::move(transport));
     Session* raw = session.get();
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     reap_finished_locked();
     sessions_.push_back(std::move(session));
     raw->thread = std::thread([this, raw] { session_loop(raw); });
@@ -96,7 +96,7 @@ void MqttBroker::session_loop(Session* session) {
                     rejected_subscribes_.fetch_add(
                         sub->filters.size(), std::memory_order_relaxed);
                 } else {
-                    std::scoped_lock lock(mutex_);
+                    MutexLock lock(mutex_);
                     for (const auto& [filter, qos] : sub->filters) {
                         session->filters.push_back(filter);
                         ack.return_codes.push_back(std::min<std::uint8_t>(qos, 1));
@@ -105,7 +105,7 @@ void MqttBroker::session_loop(Session* session) {
                 session->stream.write_packet(ack);
             } else if (auto* unsub = std::get_if<Unsubscribe>(&*packet)) {
                 {
-                    std::scoped_lock lock(mutex_);
+                    MutexLock lock(mutex_);
                     for (const auto& f : unsub->filters)
                         std::erase(session->filters, f);
                 }
@@ -118,13 +118,14 @@ void MqttBroker::session_loop(Session* session) {
             // PUBACKs from subscribers and stray CONNACK/SUBACKs ignored.
         }
     } catch (const std::exception& e) {
-        if (!stopping_.load())
+        if (!stopping_.load()) {
             DCDB_DEBUG("mqtt") << "broker session ended: " << e.what();
+        }
     }
     session->stream.close();
 
     // Move ourselves to the finished list; stop()/attach() joins later.
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
         if (it->get() == session) {
             finished_.push_back(std::move(*it));
@@ -151,7 +152,7 @@ void MqttBroker::route(const Publish& p) {
     Publish out = p;
     out.qos = 0;
     out.packet_id = 0;
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& session : sessions_) {
         if (!session->connected.load(std::memory_order_acquire)) continue;
         for (const auto& filter : session->filters) {

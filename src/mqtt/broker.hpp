@@ -18,11 +18,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "mqtt/transport.hpp"
 
 namespace dcdb::mqtt {
@@ -76,11 +76,12 @@ class MqttBroker {
     };
 
     void accept_loop();
-    void attach(std::unique_ptr<Transport> transport);
-    void session_loop(Session* session);
-    void handle_publish(Session* session, const Publish& p);
-    void route(const Publish& p);
-    void reap_finished_locked();
+    void attach(std::unique_ptr<Transport> transport) DCDB_EXCLUDES(mutex_);
+    void session_loop(Session* session) DCDB_EXCLUDES(mutex_);
+    void handle_publish(Session* session, const Publish& p)
+        DCDB_EXCLUDES(mutex_);
+    void route(const Publish& p) DCDB_EXCLUDES(mutex_);
+    void reap_finished_locked() DCDB_REQUIRES(mutex_);
 
     BrokerMode mode_;
     MessageSink sink_;
@@ -89,9 +90,9 @@ class MqttBroker {
     std::thread accept_thread_;
     std::atomic<bool> stopping_{false};
 
-    mutable std::mutex mutex_;
-    std::list<std::unique_ptr<Session>> sessions_;
-    std::vector<std::unique_ptr<Session>> finished_;
+    mutable Mutex mutex_;
+    std::list<std::unique_ptr<Session>> sessions_ DCDB_GUARDED_BY(mutex_);
+    std::vector<std::unique_ptr<Session>> finished_ DCDB_GUARDED_BY(mutex_);
 
     std::atomic<std::uint64_t> connections_{0};
     std::atomic<std::uint64_t> publishes_{0};

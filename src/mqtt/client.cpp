@@ -49,34 +49,36 @@ void MqttClient::reader_loop() {
                 if (pub->qos == 1) stream_.write_packet(Puback{pub->packet_id});
                 MessageHandler handler;
                 {
-                    std::scoped_lock lock(ack_mutex_);
+                    MutexLock lock(ack_mutex_);
                     handler = handler_;
                 }
                 if (handler) handler(*pub);
             } else if (auto* ack = std::get_if<Puback>(&*packet)) {
-                std::scoped_lock lock(ack_mutex_);
+                MutexLock lock(ack_mutex_);
                 pending_acks_.erase(ack->packet_id);
                 ack_cv_.notify_all();
             } else if (auto* sub_ack = std::get_if<Suback>(&*packet)) {
-                std::scoped_lock lock(ack_mutex_);
+                MutexLock lock(ack_mutex_);
                 for (const auto rc : sub_ack->return_codes) {
-                    if (rc == 0x80)
+                    if (rc == 0x80) {
                         DCDB_WARN("mqtt")
                             << "broker rejected a subscription filter";
+                    }
                 }
                 pending_acks_.erase(sub_ack->packet_id);
                 ack_cv_.notify_all();
             } else if (std::get_if<Unsuback>(&*packet)) {
                 // No unsubscribe waiters implemented; ignore.
             } else if (std::get_if<Pingresp>(&*packet)) {
-                std::scoped_lock lock(ack_mutex_);
+                MutexLock lock(ack_mutex_);
                 ping_outstanding_ = false;
                 ack_cv_.notify_all();
             }
         }
     } catch (const std::exception& e) {
-        if (!stopping_.load())
+        if (!stopping_.load()) {
             DCDB_DEBUG("mqtt") << "client reader stopped: " << e.what();
+        }
     }
     connected_.store(false);
     ack_cv_.notify_all();
@@ -89,11 +91,14 @@ std::uint16_t MqttClient::next_packet_id() {
 }
 
 void MqttClient::wait_ack(std::uint16_t packet_id, const char* what) {
-    std::unique_lock lock(ack_mutex_);
-    const bool ok = ack_cv_.wait_for(lock, kAckTimeout, [&] {
-        return pending_acks_.count(packet_id) == 0 || !connected_.load();
-    });
-    if (!ok || pending_acks_.count(packet_id))
+    const auto deadline = std::chrono::steady_clock::now() + kAckTimeout;
+    MutexLock lock(ack_mutex_);
+    while (pending_acks_.count(packet_id) != 0 && connected_.load()) {
+        if (ack_cv_.wait_until(ack_mutex_, deadline) ==
+            std::cv_status::timeout)
+            break;
+    }
+    if (pending_acks_.count(packet_id))
         throw NetError(std::string(what) + " not acknowledged");
 }
 
@@ -109,7 +114,7 @@ void MqttClient::publish(const std::string& topic,
         stream_.write_packet(p);
     } else {
         {
-            std::scoped_lock lock(ack_mutex_);
+            MutexLock lock(ack_mutex_);
             p.packet_id = next_packet_id();
             pending_acks_.insert(p.packet_id);
         }
@@ -130,7 +135,7 @@ void MqttClient::publish(const std::string& topic, const std::string& payload,
 }
 
 void MqttClient::set_message_handler(MessageHandler handler) {
-    std::scoped_lock lock(ack_mutex_);
+    MutexLock lock(ack_mutex_);
     handler_ = std::move(handler);
 }
 
@@ -139,7 +144,7 @@ void MqttClient::subscribe(const std::vector<std::string>& filters,
     if (!connected_.load()) throw NetError("subscribe on disconnected client");
     Subscribe s;
     {
-        std::scoped_lock lock(ack_mutex_);
+        MutexLock lock(ack_mutex_);
         s.packet_id = next_packet_id();
         pending_acks_.insert(s.packet_id);
     }
@@ -151,15 +156,18 @@ void MqttClient::subscribe(const std::vector<std::string>& filters,
 void MqttClient::ping() {
     if (!connected_.load()) throw NetError("ping on disconnected client");
     {
-        std::scoped_lock lock(ack_mutex_);
+        MutexLock lock(ack_mutex_);
         ping_outstanding_ = true;
     }
     stream_.write_packet(Pingreq{});
-    std::unique_lock lock(ack_mutex_);
-    const bool ok = ack_cv_.wait_for(lock, kAckTimeout, [&] {
-        return !ping_outstanding_ || !connected_.load();
-    });
-    if (!ok || ping_outstanding_) throw NetError("ping not answered");
+    const auto deadline = std::chrono::steady_clock::now() + kAckTimeout;
+    MutexLock lock(ack_mutex_);
+    while (ping_outstanding_ && connected_.load()) {
+        if (ack_cv_.wait_until(ack_mutex_, deadline) ==
+            std::cv_status::timeout)
+            break;
+    }
+    if (ping_outstanding_) throw NetError("ping not answered");
 }
 
 void MqttClient::disconnect() {

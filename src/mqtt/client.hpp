@@ -8,16 +8,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "mqtt/transport.hpp"
 
 namespace dcdb::mqtt {
@@ -44,19 +43,21 @@ class MqttClient {
 
     /// Publish; QoS 1 blocks until PUBACK (or throws on timeout).
     void publish(const std::string& topic,
-                 std::span<const std::uint8_t> payload, std::uint8_t qos = 0);
+                 std::span<const std::uint8_t> payload, std::uint8_t qos = 0)
+        DCDB_EXCLUDES(ack_mutex_);
     void publish(const std::string& topic, const std::string& payload,
-                 std::uint8_t qos = 0);
+                 std::uint8_t qos = 0) DCDB_EXCLUDES(ack_mutex_);
 
     /// Set before subscribe(); invoked from the reader thread.
-    void set_message_handler(MessageHandler handler);
+    void set_message_handler(MessageHandler handler)
+        DCDB_EXCLUDES(ack_mutex_);
 
     /// SUBSCRIBE/SUBACK round trip; throws if the broker rejects a filter.
     void subscribe(const std::vector<std::string>& filters,
-                   std::uint8_t qos = 0);
+                   std::uint8_t qos = 0) DCDB_EXCLUDES(ack_mutex_);
 
     /// Liveness probe: PINGREQ/PINGRESP round trip.
-    void ping();
+    void ping() DCDB_EXCLUDES(ack_mutex_);
 
     /// Orderly DISCONNECT; safe to call multiple times.
     void disconnect();
@@ -69,22 +70,24 @@ class MqttClient {
 
   private:
     void reader_loop();
-    std::uint16_t next_packet_id();
-    void wait_ack(std::uint16_t packet_id, const char* what);
+    std::uint16_t next_packet_id() DCDB_REQUIRES(ack_mutex_);
+    void wait_ack(std::uint16_t packet_id, const char* what)
+        DCDB_EXCLUDES(ack_mutex_);
 
     PacketStream stream_;
     std::string client_id_;
-    MessageHandler handler_;
 
     std::thread reader_;
     std::atomic<bool> connected_{false};
     std::atomic<bool> stopping_{false};
 
-    std::mutex ack_mutex_;
-    std::condition_variable ack_cv_;
-    std::unordered_set<std::uint16_t> pending_acks_;
-    std::uint16_t packet_id_seq_{0};
-    bool ping_outstanding_{false};
+    Mutex ack_mutex_;
+    CondVar ack_cv_;
+    MessageHandler handler_ DCDB_GUARDED_BY(ack_mutex_);
+    std::unordered_set<std::uint16_t> pending_acks_
+        DCDB_GUARDED_BY(ack_mutex_);
+    std::uint16_t packet_id_seq_ DCDB_GUARDED_BY(ack_mutex_){0};
+    bool ping_outstanding_ DCDB_GUARDED_BY(ack_mutex_){false};
 
     std::atomic<std::uint64_t> publishes_sent_{0};
     std::atomic<std::uint64_t> bytes_sent_{0};

@@ -26,6 +26,7 @@ void apply_send_fault(Transport& transport) {
             transport.close();
             throw NetError("injected mqtt connection drop");
         case FaultAction::kDelay:
+            // dcdblint: allow-sleep (fault injection simulates a slow link)
             std::this_thread::sleep_for(std::chrono::nanoseconds(
                 injector.delay_ns(FaultPoint::kMqttSend)));
             return;
@@ -44,6 +45,7 @@ bool apply_recv_fault(Transport& transport) {
             transport.close();
             return true;
         case FaultAction::kDelay:
+            // dcdblint: allow-sleep (fault injection simulates a slow link)
             std::this_thread::sleep_for(std::chrono::nanoseconds(
                 injector.delay_ns(FaultPoint::kMqttRecv)));
             return false;
@@ -59,7 +61,7 @@ TcpTransport::TcpTransport(TcpStream stream) : stream_(std::move(stream)) {
 
 void TcpTransport::send(std::span<const std::uint8_t> data) {
     apply_send_fault(*this);
-    std::scoped_lock lock(send_mutex_);
+    MutexLock lock(send_mutex_);
     stream_.write_all(data);
 }
 
@@ -76,23 +78,23 @@ namespace {
 
 /// One direction of an in-proc connection.
 struct Pipe {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<std::uint8_t> data;
-    bool closed{false};
+    Mutex mutex;
+    CondVar cv;
+    std::deque<std::uint8_t> data DCDB_GUARDED_BY(mutex);
+    bool closed DCDB_GUARDED_BY(mutex){false};
 
-    void push(std::span<const std::uint8_t> bytes) {
+    void push(std::span<const std::uint8_t> bytes) DCDB_EXCLUDES(mutex) {
         {
-            std::scoped_lock lock(mutex);
+            MutexLock lock(mutex);
             if (closed) throw NetError("in-proc pipe closed");
             data.insert(data.end(), bytes.begin(), bytes.end());
         }
         cv.notify_one();
     }
 
-    std::size_t pop(std::span<std::uint8_t> out) {
-        std::unique_lock lock(mutex);
-        cv.wait(lock, [this] { return !data.empty() || closed; });
+    std::size_t pop(std::span<std::uint8_t> out) DCDB_EXCLUDES(mutex) {
+        MutexLock lock(mutex);
+        while (data.empty() && !closed) cv.wait(mutex);
         if (data.empty()) return 0;  // closed and drained
         const std::size_t n = std::min(out.size(), data.size());
         for (std::size_t i = 0; i < n; ++i) {
@@ -102,9 +104,9 @@ struct Pipe {
         return n;
     }
 
-    void close() {
+    void close() DCDB_EXCLUDES(mutex) {
         {
-            std::scoped_lock lock(mutex);
+            MutexLock lock(mutex);
             closed = true;
         }
         cv.notify_all();
@@ -189,7 +191,7 @@ std::optional<Packet> PacketStream::read_packet() {
 
 void PacketStream::write_packet(const Packet& p) {
     const auto bytes = encode(p);
-    std::scoped_lock lock(write_mutex_);
+    MutexLock lock(write_mutex_);
     transport_->send(bytes);
 }
 

@@ -13,14 +13,13 @@
 // crashes deterministically.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 
+#include "common/mutex.hpp"
 #include "mqtt/packet.hpp"
 #include "net/socket.hpp"
 
@@ -49,8 +48,12 @@ class TcpTransport final : public Transport {
     void close() override;
 
   private:
+    // stream_ is full-duplex: sends are serialized by send_mutex_ (many
+    // publisher threads share one connection), recv is single-consumer
+    // (the session/reader thread) and never takes the mutex — so stream_
+    // cannot be DCDB_GUARDED_BY(send_mutex_).
     TcpStream stream_;
-    std::mutex send_mutex_;
+    Mutex send_mutex_;  // dcdblint: no-guard (guards send-half of stream_)
 };
 
 /// Create a cross-wired pair of in-process transports: bytes sent on one
@@ -78,8 +81,10 @@ class PacketStream {
     bool take_byte(std::uint8_t& out);
 
     std::unique_ptr<Transport> transport_;
-    std::deque<std::uint8_t> buf_;
-    std::mutex write_mutex_;
+    std::deque<std::uint8_t> buf_;  // reader-side only (single consumer)
+    // Serializes whole frames onto the (external) transport; the guarded
+    // resource is the transport's send half, not an annotatable member.
+    Mutex write_mutex_;  // dcdblint: no-guard
 };
 
 }  // namespace dcdb::mqtt

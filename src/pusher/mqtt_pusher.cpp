@@ -70,7 +70,7 @@ void MqttPusher::bump_backoff_locked() {
 }
 
 void MqttPusher::requeue(std::string topic, std::vector<Reading> readings) {
-    std::scoped_lock lock(retry_mutex_);
+    MutexLock lock(retry_mutex_);
     readings_requeued_.fetch_add(readings.size(), std::memory_order_relaxed);
     retry_readings_.fetch_add(readings.size(), std::memory_order_relaxed);
     retry_queue_.push_back({std::move(topic), std::move(readings)});
@@ -88,7 +88,7 @@ void MqttPusher::requeue(std::string topic, std::vector<Reading> readings) {
 
 std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
                                       bool ignore_backoff) {
-    std::scoped_lock lock(retry_mutex_);
+    MutexLock lock(retry_mutex_);
     if (retry_queue_.empty()) return 0;
     if (!ignore_backoff && steady_ns() < retry_next_attempt_ns_) return 0;
 
@@ -165,6 +165,8 @@ void MqttPusher::loop() {
         if (now < next) {
             const TimestampNs wait =
                 std::min<TimestampNs>(next - now, 50 * kNsPerMs);
+            // Push-loop pacing, capped at 50ms so stop() stays responsive.
+            // dcdblint: allow-sleep (bounded pacing, not a condition wait)
             std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
             continue;
         }

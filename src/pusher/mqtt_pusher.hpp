@@ -22,11 +22,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/random.hpp"
 #include "mqtt/client.hpp"
 #include "pusher/plugin.hpp"
@@ -94,9 +94,11 @@ class MqttPusher {
     /// instead of throwing so callers can re-queue.
     bool publish_batch(mqtt::MqttClient* client, const std::string& topic,
                        const std::vector<Reading>& readings);
-    void requeue(std::string topic, std::vector<Reading> readings);
-    std::size_t flush_retries(mqtt::MqttClient* client, bool ignore_backoff);
-    void bump_backoff_locked();
+    void requeue(std::string topic, std::vector<Reading> readings)
+        DCDB_EXCLUDES(retry_mutex_);
+    std::size_t flush_retries(mqtt::MqttClient* client, bool ignore_backoff)
+        DCDB_EXCLUDES(retry_mutex_);
+    void bump_backoff_locked() DCDB_REQUIRES(retry_mutex_);
 
     ClientProvider client_provider_;
     const std::vector<std::unique_ptr<Plugin>>* plugins_;
@@ -106,11 +108,13 @@ class MqttPusher {
     std::atomic<std::uint64_t> readings_{0};
     std::atomic<std::uint64_t> messages_{0};
 
-    std::mutex retry_mutex_;
-    std::deque<PendingBatch> retry_queue_;
-    TimestampNs retry_backoff_ns_{0};       // 0 = not backing off
-    TimestampNs retry_next_attempt_ns_{0};  // steady-clock gate
-    Rng jitter_rng_{0xD1CEu};
+    Mutex retry_mutex_;
+    std::deque<PendingBatch> retry_queue_ DCDB_GUARDED_BY(retry_mutex_);
+    // 0 = not backing off
+    TimestampNs retry_backoff_ns_ DCDB_GUARDED_BY(retry_mutex_){0};
+    // steady-clock gate
+    TimestampNs retry_next_attempt_ns_ DCDB_GUARDED_BY(retry_mutex_){0};
+    Rng jitter_rng_ DCDB_GUARDED_BY(retry_mutex_){0xD1CEu};
 
     // Queue depth mirrors kept atomic so stats() never blocks on a
     // publish in flight under retry_mutex_.

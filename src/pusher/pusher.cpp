@@ -120,7 +120,12 @@ void Pusher::stop() {
     started_ = false;
     sampler_->stop();
     if (mqtt_pusher_) mqtt_pusher_->stop();
-    if (mqtt_client_) mqtt_client_->disconnect();
+    {
+        // The push thread is joined, but the REST server may still be
+        // serving mqtt_connected() probes.
+        MutexLock lock(client_mutex_);
+        if (mqtt_client_) mqtt_client_->disconnect();
+    }
     if (rest_server_) rest_server_->stop();
 }
 
@@ -159,7 +164,7 @@ void Pusher::reload_plugin(const std::string& name) {
 }
 
 mqtt::MqttClient* Pusher::client_for_push() {
-    std::scoped_lock lock(client_mutex_);
+    MutexLock lock(client_mutex_);
     if (mqtt_client_ && mqtt_client_->connected())
         return mqtt_client_.get();
     if (broker_host_.empty()) return nullptr;  // in-proc: no reconnect
@@ -193,7 +198,7 @@ mqtt::MqttClient* Pusher::client_for_push() {
 }
 
 bool Pusher::mqtt_connected() const {
-    std::scoped_lock lock(client_mutex_);
+    MutexLock lock(client_mutex_);
     return mqtt_client_ && mqtt_client_->connected();
 }
 

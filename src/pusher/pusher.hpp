@@ -23,11 +23,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/mutex.hpp"
 #include "common/random.hpp"
 #include "core/sensor_cache.hpp"
 #include "mqtt/client.hpp"
@@ -100,7 +100,7 @@ class Pusher {
     void push_now();
 
     /// True when an MQTT connection to the Collect Agent is currently up.
-    bool mqtt_connected() const;
+    bool mqtt_connected() const DCDB_EXCLUDES(client_mutex_);
 
   private:
     void configure_plugins();
@@ -108,7 +108,7 @@ class Pusher {
     /// ClientProvider for the push thread: returns the live client, or
     /// (for TCP-configured brokers) attempts a reconnect with backoff —
     /// a Pusher must keep sampling through Collect Agent restarts.
-    mqtt::MqttClient* client_for_push();
+    mqtt::MqttClient* client_for_push() DCDB_EXCLUDES(client_mutex_);
 
     ConfigNode config_;
     std::string config_path_;  // for reloads; may be empty
@@ -118,18 +118,21 @@ class Pusher {
     std::vector<std::unique_ptr<Plugin>> plugins_;
     std::unique_ptr<Sampler> sampler_;
 
-    mutable std::mutex client_mutex_;
-    std::unique_ptr<mqtt::MqttClient> mqtt_client_;
+    mutable Mutex client_mutex_;
+    std::unique_ptr<mqtt::MqttClient> mqtt_client_
+        DCDB_GUARDED_BY(client_mutex_);
     std::string broker_host_;          // empty for injected transports
     std::uint16_t broker_port_{0};
     // Reconnect state machine: exponential backoff with jitter between
     // attempts, reset on a successful handshake.
-    std::uint64_t last_connect_attempt_ns_{0};
-    TimestampNs reconnect_backoff_ns_{0};  // 0 = next attempt immediate
-    TimestampNs reconnect_delay_ns_{0};    // current jittered wait
+    std::uint64_t last_connect_attempt_ns_ DCDB_GUARDED_BY(client_mutex_){0};
+    // 0 = next attempt immediate
+    TimestampNs reconnect_backoff_ns_ DCDB_GUARDED_BY(client_mutex_){0};
+    // current jittered wait
+    TimestampNs reconnect_delay_ns_ DCDB_GUARDED_BY(client_mutex_){0};
     TimestampNs reconnect_backoff_min_ns_{250 * kNsPerMs};
     TimestampNs reconnect_backoff_max_ns_{10 * kNsPerSec};
-    Rng reconnect_rng_{0xC0FFEEu};
+    Rng reconnect_rng_ DCDB_GUARDED_BY(client_mutex_){0xC0FFEEu};
     std::atomic<std::uint64_t> reconnects_{0};
     std::atomic<std::uint64_t> reconnect_failures_{0};
     std::unique_ptr<MqttPusher> mqtt_pusher_;

@@ -12,19 +12,19 @@ Sampler::Sampler(int threads, CacheSet* cache)
 Sampler::~Sampler() { stop(); }
 
 void Sampler::add_group(SensorGroup* group) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push({next_aligned(now_ns(), group->interval_ns()), group});
     cv_.notify_one();
 }
 
 void Sampler::remove_groups(const std::vector<SensorGroup*>& groups) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     removed_.insert(removed_.end(), groups.begin(), groups.end());
     cv_.notify_all();
 }
 
 void Sampler::start() {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (running_.load(std::memory_order_relaxed)) return;
     running_.store(true, std::memory_order_relaxed);
     threads_.reserve(static_cast<std::size_t>(thread_count_));
@@ -34,7 +34,7 @@ void Sampler::start() {
 
 void Sampler::stop() {
     {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
         if (!running_.load(std::memory_order_relaxed)) return;
         running_.store(false, std::memory_order_relaxed);
     }
@@ -46,13 +46,12 @@ void Sampler::stop() {
 }
 
 void Sampler::worker_loop() {
-    std::unique_lock lock(mutex_);
+    mutex_.lock();
     while (running_.load(std::memory_order_relaxed)) {
         if (queue_.empty()) {
-            cv_.wait(lock, [this] {
-                return !running_.load(std::memory_order_relaxed) ||
-                       !queue_.empty();
-            });
+            while (running_.load(std::memory_order_relaxed) &&
+                   queue_.empty())
+                cv_.wait(mutex_);
             continue;
         }
         Scheduled next = queue_.top();
@@ -69,23 +68,24 @@ void Sampler::worker_loop() {
         const TimestampNs now = now_ns();
         if (next.deadline > now) {
             // Sleep until due (or until a new earlier group arrives).
-            cv_.wait_for(lock,
+            cv_.wait_for(mutex_,
                          std::chrono::nanoseconds(next.deadline - now));
             continue;
         }
         queue_.pop();
-        lock.unlock();
+        mutex_.unlock();
 
         next.group->read_all(next.deadline, cache_);
         samples_.fetch_add(1, std::memory_order_relaxed);
 
-        lock.lock();
+        mutex_.lock();
         // Reschedule at the next aligned boundary, skipping any deadlines
         // we are too late for (overload shedding rather than backlog).
         queue_.push({next_aligned(std::max(now_ns(), next.deadline),
                                   next.group->interval_ns()),
                      next.group});
     }
+    mutex_.unlock();
 }
 
 }  // namespace dcdb::pusher

@@ -14,12 +14,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "core/sensor_cache.hpp"
 #include "pusher/sensor_group.hpp"
@@ -36,13 +35,14 @@ class Sampler {
     Sampler& operator=(const Sampler&) = delete;
 
     /// Register a group; first deadline is the next aligned boundary.
-    void add_group(SensorGroup* group);
+    void add_group(SensorGroup* group) DCDB_EXCLUDES(mutex_);
 
     /// Remove all groups belonging to a reconfigured plugin.
-    void remove_groups(const std::vector<SensorGroup*>& groups);
+    void remove_groups(const std::vector<SensorGroup*>& groups)
+        DCDB_EXCLUDES(mutex_);
 
-    void start();
-    void stop();
+    void start() DCDB_EXCLUDES(mutex_);
+    void stop() DCDB_EXCLUDES(mutex_);
     bool running() const { return running_.load(std::memory_order_relaxed); }
 
     std::uint64_t samples_taken() const { return samples_.load(); }
@@ -56,15 +56,17 @@ class Sampler {
         }
     };
 
-    void worker_loop();
+    void worker_loop() DCDB_EXCLUDES(mutex_);
 
     int thread_count_;
     CacheSet* cache_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
+    Mutex mutex_;
+    CondVar cv_;
     std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
-        queue_;
-    std::vector<SensorGroup*> removed_;
+        queue_ DCDB_GUARDED_BY(mutex_);
+    std::vector<SensorGroup*> removed_ DCDB_GUARDED_BY(mutex_);
+    // Only the control thread that calls start()/stop() touches threads_;
+    // workers never do, so it needs no lock.
     std::vector<std::thread> threads_;
     // Written under mutex_ (so cv waits stay race-free) but read by the
     // lock-free running() probe — hence atomic.

@@ -11,7 +11,7 @@ SensorBase::SensorBase(std::string name, std::string topic)
 void SensorBase::store_reading(Reading r, CacheSet* cache,
                                TimestampNs interval_hint_ns) {
     {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
         if (delta_) {
             const Value raw = r.value;
             if (!last_raw_) {
@@ -33,23 +33,23 @@ void SensorBase::store_reading(Reading r, CacheSet* cache,
 
 std::vector<Reading> SensorBase::drain_pending() {
     std::vector<Reading> out;
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     out.swap(pending_);
     return out;
 }
 
 std::optional<Reading> SensorBase::latest() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return latest_;
 }
 
 std::size_t SensorBase::pending_count() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return pending_.size();
 }
 
 std::uint64_t SensorBase::dropped_readings() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return dropped_;
 }
 

@@ -7,11 +7,11 @@
 // that backs the REST API.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 #include "core/sensor_cache.hpp"
 
@@ -40,11 +40,11 @@ class SensorBase {
     /// conversion if enabled and mirrors the reading into `cache` (may be
     /// null in unit tests).
     void store_reading(Reading r, CacheSet* cache,
-                       TimestampNs interval_hint_ns);
+                       TimestampNs interval_hint_ns) DCDB_EXCLUDES(mutex_);
 
     /// Readings accumulated since the last drain (consumed by the MQTT
     /// push thread). Swap-based: no allocation on the sampling path.
-    std::vector<Reading> drain_pending();
+    std::vector<Reading> drain_pending() DCDB_EXCLUDES(mutex_);
 
     /// Pending readings are capped so a dead Collect Agent cannot grow a
     /// Pusher without bound; the oldest readings are dropped first (the
@@ -52,10 +52,10 @@ class SensorBase {
     /// simply have a gap — DCDB favours fresh data over total recall).
     static constexpr std::size_t kMaxPending = 4096;
 
-    std::uint64_t dropped_readings() const;
+    std::uint64_t dropped_readings() const DCDB_EXCLUDES(mutex_);
 
-    std::optional<Reading> latest() const;
-    std::size_t pending_count() const;
+    std::optional<Reading> latest() const DCDB_EXCLUDES(mutex_);
+    std::size_t pending_count() const DCDB_EXCLUDES(mutex_);
 
   private:
     std::string name_;
@@ -64,11 +64,12 @@ class SensorBase {
     double scale_{1.0};
     bool delta_{false};
 
-    mutable std::mutex mutex_;
-    std::vector<Reading> pending_;
-    std::optional<Reading> latest_;
-    std::optional<Value> last_raw_;  // for delta conversion
-    std::uint64_t dropped_{0};
+    mutable Mutex mutex_;
+    std::vector<Reading> pending_ DCDB_GUARDED_BY(mutex_);
+    std::optional<Reading> latest_ DCDB_GUARDED_BY(mutex_);
+    // last_raw_ feeds delta conversion
+    std::optional<Value> last_raw_ DCDB_GUARDED_BY(mutex_);
+    std::uint64_t dropped_ DCDB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace dcdb::pusher

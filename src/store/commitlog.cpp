@@ -54,14 +54,14 @@ void CommitLog::append(const Key& key, const Row& row) {
     w.u32be(row.expiry_s);
     w.u32be(record_crc(w.data()));
 
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (std::fwrite(w.data().data(), 1, w.size(), file_) != w.size())
         throw StoreError("commit log append failed: " + path_);
     records_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CommitLog::sync() {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (std::fflush(file_) != 0)
         throw StoreError("commit log flush failed: " + path_);
 #ifndef _WIN32
@@ -72,7 +72,7 @@ void CommitLog::sync() {
 }
 
 void CommitLog::reset() {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     std::fclose(file_);
     file_ = std::fopen(path_.c_str(), "wb");
     if (!file_) throw StoreError("cannot truncate commit log " + path_);

@@ -10,9 +10,9 @@
 #include <atomic>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "store/key.hpp"
 #include "store/row.hpp"
 
@@ -27,15 +27,15 @@ class CommitLog {
     CommitLog(const CommitLog&) = delete;
     CommitLog& operator=(const CommitLog&) = delete;
 
-    void append(const Key& key, const Row& row);
+    void append(const Key& key, const Row& row) DCDB_EXCLUDES(mutex_);
 
     /// Durable flush: fflush to the OS, then fdatasync to the device.
     /// This is the crash-durability point — Cassandra's "batch" sync
     /// level; StorageNode calls it every commitlog_sync_every appends.
-    void sync();
+    void sync() DCDB_EXCLUDES(mutex_);
 
     /// Truncate after a successful memtable flush.
-    void reset();
+    void reset() DCDB_EXCLUDES(mutex_);
 
     const std::string& path() const { return path_; }
     std::uint64_t records_appended() const {
@@ -58,8 +58,8 @@ class CommitLog {
 
   private:
     std::string path_;
-    std::FILE* file_{nullptr};
-    std::mutex mutex_;
+    std::FILE* file_ DCDB_PT_GUARDED_BY(mutex_){nullptr};
+    dcdb::Mutex mutex_;
     // Counters are read by stats paths without the mutex.
     std::atomic<std::uint64_t> records_{0};
     std::atomic<std::uint64_t> syncs_{0};

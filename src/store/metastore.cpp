@@ -80,25 +80,25 @@ void MetaStore::append_record(const std::string& key,
 }
 
 void MetaStore::put(const std::string& key, const std::string& value) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     map_[key] = value;
     append_record(key, value, /*tombstone=*/false);
 }
 
 std::optional<std::string> MetaStore::get(const std::string& key) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = map_.find(key);
     if (it == map_.end()) return std::nullopt;
     return it->second;
 }
 
 void MetaStore::erase(const std::string& key) {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (map_.erase(key) > 0) append_record(key, "", /*tombstone=*/true);
 }
 
 bool MetaStore::contains(const std::string& key) const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return map_.count(key) > 0;
 }
 
@@ -106,7 +106,7 @@ std::vector<std::pair<std::string, std::string>> MetaStore::scan_prefix(
     const std::string& prefix) const {
     std::vector<std::pair<std::string, std::string>> out;
     {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
         for (const auto& [k, v] : map_) {
             if (k.size() >= prefix.size() &&
                 k.compare(0, prefix.size(), prefix) == 0)
@@ -118,12 +118,12 @@ std::vector<std::pair<std::string, std::string>> MetaStore::scan_prefix(
 }
 
 std::size_t MetaStore::size() const {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     return map_.size();
 }
 
 void MetaStore::compact() {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (path_.empty()) return;
     if (file_) std::fclose(file_);
     file_ = std::fopen(path_.c_str(), "wb");

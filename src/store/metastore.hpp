@@ -8,11 +8,12 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace dcdb::store {
 
@@ -26,28 +27,31 @@ class MetaStore {
     MetaStore(const MetaStore&) = delete;
     MetaStore& operator=(const MetaStore&) = delete;
 
-    void put(const std::string& key, const std::string& value);
-    std::optional<std::string> get(const std::string& key) const;
-    void erase(const std::string& key);
-    bool contains(const std::string& key) const;
+    void put(const std::string& key, const std::string& value)
+        DCDB_EXCLUDES(mutex_);
+    std::optional<std::string> get(const std::string& key) const
+        DCDB_EXCLUDES(mutex_);
+    void erase(const std::string& key) DCDB_EXCLUDES(mutex_);
+    bool contains(const std::string& key) const DCDB_EXCLUDES(mutex_);
 
     /// All (key, value) pairs whose key starts with `prefix`, sorted.
     std::vector<std::pair<std::string, std::string>> scan_prefix(
-        const std::string& prefix) const;
+        const std::string& prefix) const DCDB_EXCLUDES(mutex_);
 
-    std::size_t size() const;
+    std::size_t size() const DCDB_EXCLUDES(mutex_);
 
     /// Rewrite the log with only live entries.
-    void compact();
+    void compact() DCDB_EXCLUDES(mutex_);
 
   private:
     void append_record(const std::string& key, const std::string& value,
-                       bool tombstone);
+                       bool tombstone) DCDB_REQUIRES(mutex_);
 
     std::string path_;
-    std::FILE* file_{nullptr};
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::string> map_;
+    std::FILE* file_ DCDB_PT_GUARDED_BY(mutex_){nullptr};
+    mutable dcdb::Mutex mutex_;
+    std::unordered_map<std::string, std::string> map_
+        DCDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace dcdb::store

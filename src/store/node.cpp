@@ -88,6 +88,7 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
         case FaultAction::kDrop:
             return;
         case FaultAction::kDelay:
+            // dcdblint: allow-sleep (fault injection simulates a slow disk)
             std::this_thread::sleep_for(std::chrono::nanoseconds(
                 injector.delay_ns(FaultPoint::kStoreInsert)));
             break;
@@ -101,7 +102,7 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
             ? 0
             : static_cast<std::uint32_t>(ts / kNsPerSec + ttl_s);
 
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     if (commitlog_) {
         commitlog_->append(key, row);
         if (config_.commitlog_sync_every != 0 &&
@@ -119,7 +120,7 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
 std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
                                     TimestampNs t1) const {
     reads_.fetch_add(1, std::memory_order_relaxed);
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
 
     // Merge in generation order so later writes shadow earlier ones; the
     // memtable is newest of all.
@@ -144,7 +145,7 @@ std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
 }
 
 void StorageNode::flush() {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     flush_locked();
 }
 
@@ -162,7 +163,7 @@ void StorageNode::flush_locked() {
 }
 
 void StorageNode::compact() {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     flush_locked();
     if (sstables_.size() <= 1 && flushes_ == 0) return;
 
@@ -198,7 +199,7 @@ void StorageNode::compact() {
 }
 
 void StorageNode::truncate_before(TimestampNs cutoff) {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     flush_locked();
     std::map<Key, std::vector<Row>> kept;
     const TimestampNs now = now_ns();
@@ -228,7 +229,7 @@ void StorageNode::truncate_before(TimestampNs cutoff) {
 }
 
 NodeStats StorageNode::stats() const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     NodeStats s;
     s.writes = writes_.load();
     s.reads = reads_.load();

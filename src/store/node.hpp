@@ -4,11 +4,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "store/commitlog.hpp"
 #include "store/memtable.hpp"
 #include "store/sstable.hpp"
@@ -46,41 +45,44 @@ class StorageNode {
     /// Insert one reading; `ttl_s` 0 means no expiry. Triggers a memtable
     /// flush when the configured threshold is crossed.
     void insert(const Key& key, TimestampNs ts, Value value,
-                std::uint32_t ttl_s = 0);
+                std::uint32_t ttl_s = 0) DCDB_EXCLUDES(mutex_);
 
     /// Merged view over memtable and SSTables, newest write wins per
     /// timestamp; expired rows are filtered. Results sorted by timestamp.
     std::vector<Row> query(const Key& key, TimestampNs t0,
-                           TimestampNs t1) const;
+                           TimestampNs t1) const DCDB_EXCLUDES(mutex_);
 
     /// Force the memtable to disk.
-    void flush();
+    void flush() DCDB_EXCLUDES(mutex_);
 
     /// Merge all SSTables into one, dropping expired and shadowed rows
     /// (the `config` tool's "compact" maintenance command drives this).
-    void compact();
+    void compact() DCDB_EXCLUDES(mutex_);
 
     /// Drop all rows with ts < cutoff across the node (the `config`
     /// tool's "delete old data" command).
-    void truncate_before(TimestampNs cutoff);
+    void truncate_before(TimestampNs cutoff) DCDB_EXCLUDES(mutex_);
 
-    NodeStats stats() const;
+    NodeStats stats() const DCDB_EXCLUDES(mutex_);
 
   private:
-    void flush_locked();
+    void flush_locked() DCDB_REQUIRES(mutex_);
     std::string sstable_path(std::uint64_t generation) const;
 
     NodeConfig config_;
-    mutable std::shared_mutex mutex_;
-    Memtable memtable_;
-    std::unique_ptr<CommitLog> commitlog_;
-    std::size_t appends_since_sync_{0};
-    std::vector<std::unique_ptr<SsTable>> sstables_;  // ascending generation
-    std::uint64_t next_generation_{1};
+    mutable SharedMutex mutex_;
+    Memtable memtable_ DCDB_GUARDED_BY(mutex_);
+    // The commit log has its own internal mutex; the pointer itself is
+    // only swapped under the writer lock. Lock order: mutex_ -> CommitLog.
+    std::unique_ptr<CommitLog> commitlog_ DCDB_GUARDED_BY(mutex_);
+    std::size_t appends_since_sync_ DCDB_GUARDED_BY(mutex_){0};
+    // ascending generation
+    std::vector<std::unique_ptr<SsTable>> sstables_ DCDB_GUARDED_BY(mutex_);
+    std::uint64_t next_generation_ DCDB_GUARDED_BY(mutex_){1};
     mutable std::atomic<std::uint64_t> writes_{0};
     mutable std::atomic<std::uint64_t> reads_{0};
-    std::uint64_t flushes_{0};
-    std::uint64_t compactions_{0};
+    std::uint64_t flushes_ DCDB_GUARDED_BY(mutex_){0};
+    std::uint64_t compactions_ DCDB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace dcdb::store

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
         std::signal(SIGTERM, handle_signal);
         auto last_report = std::chrono::steady_clock::now();
         while (!g_stop) {
+            // dcdblint: allow-sleep (main-thread signal poll loop)
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
             const auto now = std::chrono::steady_clock::now();
             if (now - last_report >= std::chrono::minutes(1)) {

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
         std::signal(SIGINT, handle_signal);
         std::signal(SIGTERM, handle_signal);
         while (!g_stop)
+            // dcdblint: allow-sleep (main-thread signal poll loop)
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
         std::printf("dcdbpusher: shutting down (%llu readings pushed)\n",

@@ -184,7 +184,9 @@ TEST_P(MqttCodecProperty, EncodeDecodeRoundTripsArbitraryPackets) {
             EXPECT_EQ(q.payload, p->payload);
             EXPECT_EQ(q.qos, p->qos);
             EXPECT_EQ(q.retain, p->retain);
-            if (p->qos) EXPECT_EQ(q.packet_id, p->packet_id);
+            if (p->qos) {
+                EXPECT_EQ(q.packet_id, p->packet_id);
+            }
         }
     }
 }

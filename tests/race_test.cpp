@@ -88,14 +88,15 @@ TEST(CacheSetRace, ProducersVersusIterators) {
         });
     }
 
+    // The readers are pure stressors: on a loaded single-core machine
+    // they may never get scheduled while the producers run, so nothing
+    // here may assert on how much they observed.
     std::vector<std::thread> readers;
-    std::atomic<std::uint64_t> observed{0};
     for (int r = 0; r < kReaders; ++r) {
         readers.emplace_back([&] {
             while (!done.load()) {
                 for (const auto& topic : cache.topics()) {
-                    if (auto latest = cache.latest(topic))
-                        observed.fetch_add(1, std::memory_order_relaxed);
+                    cache.latest(topic);
                     cache.view(topic, 0, kTimestampMax);
                     cache.average(topic, kNsPerSec);
                 }
@@ -114,9 +115,13 @@ TEST(CacheSetRace, ProducersVersusIterators) {
     for (const auto& topic : cache.topics()) {
         const auto latest = cache.latest(topic);
         ASSERT_TRUE(latest.has_value());
+        // Both producers of a topic end on i == kPushes-1, so whichever
+        // pushed last left that timestamp.
         EXPECT_EQ(latest->ts, (kPushes - 1) * kNsPerMs);
+        const auto rows = cache.view(topic, 0, kTimestampMax);
+        ASSERT_FALSE(rows.empty());
+        EXPECT_EQ(rows.back().ts, (kPushes - 1) * kNsPerMs);
     }
-    EXPECT_GT(observed.load(), 0u);
 }
 
 // ----------------------------------------------------------------- Broker
