@@ -1,5 +1,7 @@
 #include "common/units.hpp"
 
+#include <functional>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -8,8 +10,20 @@ namespace dcdb {
 
 namespace {
 
-std::unordered_map<std::string, Unit> build_registry() {
-    std::unordered_map<std::string, Unit> reg;
+// Transparent hashing so parse_unit can look up a string_view without
+// materialising a std::string per call (performance-* exemplar: this is
+// on the per-reading path via SensorConfig parsing).
+struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+using UnitMap =
+    std::unordered_map<std::string, Unit, StringHash, std::equal_to<>>;
+
+UnitMap build_registry() {
+    UnitMap reg;
     auto add = [&reg](const char* name, Dimension dim, double scale,
                       double offset = 0.0) {
         reg.emplace(name, Unit{name, dim, scale, offset});
@@ -80,7 +94,7 @@ std::unordered_map<std::string, Unit> build_registry() {
     return reg;
 }
 
-const std::unordered_map<std::string, Unit>& registry() {
+const UnitMap& registry() {
     static const auto reg = build_registry();
     return reg;
 }
@@ -89,7 +103,7 @@ const std::unordered_map<std::string, Unit>& registry() {
 
 Unit parse_unit(std::string_view name) {
     const auto& reg = registry();
-    const auto it = reg.find(std::string(name));
+    const auto it = reg.find(name);
     if (it != reg.end()) return it->second;
     // Unknown unit: treat as an opaque dimensionless tag.
     return Unit{std::string(name), Dimension::kNone, 1.0, 0.0};
