@@ -7,7 +7,10 @@
 namespace dcdb::analytics {
 
 AnalyticsPipeline::AnalyticsPipeline(collectagent::CollectAgent& agent)
-    : agent_(agent) {
+    : agent_(agent),
+      processed_(agent.telemetry().counter("analytics.readings.processed")),
+      derived_(agent.telemetry().counter("analytics.derived.written")),
+      events_(agent.telemetry().counter("analytics.events.emitted")) {
     agent_.set_live_listener(
         [this](const std::string& topic, const Reading& reading) {
             on_reading(topic, reading);
@@ -31,7 +34,7 @@ void AnalyticsPipeline::set_event_handler(EventHandler handler) {
 
 void AnalyticsPipeline::on_reading(const std::string& topic,
                                    const Reading& reading) {
-    processed_.fetch_add(1, std::memory_order_relaxed);
+    processed_.add(1);
     for (const auto& stage : stages_) {
         if (!topic_matches(stage.filter, topic)) continue;
         std::optional<Derived> out;
@@ -45,12 +48,12 @@ void AnalyticsPipeline::on_reading(const std::string& topic,
         }
         if (!out) continue;
         if (out->is_event) {
-            events_.fetch_add(1, std::memory_order_relaxed);
+            events_.add(1);
             if (event_handler_)
                 event_handler_({topic, out->reading, out->detail});
         } else {
             agent_.ingest(topic + "/" + stage.op->name(), out->reading);
-            derived_.fetch_add(1, std::memory_order_relaxed);
+            derived_.add(1);
         }
     }
 }

@@ -9,13 +9,13 @@
 // or anomaly detection" application would use.
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analytics/operators.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dcdb::collectagent {
 class CollectAgent;
@@ -48,9 +48,9 @@ class AnalyticsPipeline {
 
     void set_event_handler(EventHandler handler);
 
-    std::uint64_t readings_processed() const { return processed_.load(); }
-    std::uint64_t derived_written() const { return derived_.load(); }
-    std::uint64_t events_emitted() const { return events_.load(); }
+    std::uint64_t readings_processed() const { return processed_.value(); }
+    std::uint64_t derived_written() const { return derived_.value(); }
+    std::uint64_t events_emitted() const { return events_.value(); }
 
   private:
     void on_reading(const std::string& topic, const Reading& reading);
@@ -63,9 +63,11 @@ class AnalyticsPipeline {
     collectagent::CollectAgent& agent_;
     std::vector<Stage> stages_;  // fixed after attach-time configuration
     EventHandler event_handler_;
-    std::atomic<std::uint64_t> processed_{0};
-    std::atomic<std::uint64_t> derived_{0};
-    std::atomic<std::uint64_t> events_{0};
+    // Registered in the host agent's registry, so the analytics.* series
+    // ride the agent's /metrics page and self-feed.
+    telemetry::Counter& processed_;
+    telemetry::Counter& derived_;
+    telemetry::Counter& events_;
 };
 
 }  // namespace dcdb::analytics

@@ -12,8 +12,10 @@ namespace dcdb::collectagent {
 
 CollectAgent::CollectAgent(const ConfigNode& config,
                            store::StoreCluster* cluster,
-                           store::MetaStore* meta)
+                           store::MetaStore* meta,
+                           telemetry::MetricRegistry* registry)
     : cluster_(cluster),
+      registry_(telemetry::resolve_registry(registry, owned_registry_)),
       mapper_(*meta),
       cache_(config.get_duration_ns_or("global.cacheWindow",
                                        120 * kNsPerSec)),
@@ -24,13 +26,21 @@ CollectAgent::CollectAgent(const ConfigNode& config,
       store_retry_max_(static_cast<std::uint32_t>(std::max<std::int64_t>(
           config.get_i64_or("global.storeRetryMax", 4), 1))),
       store_retry_backoff_ns_(
-          config.get_duration_ns_or("global.storeRetryBackoff", kNsPerMs)) {
+          config.get_duration_ns_or("global.storeRetryBackoff", kNsPerMs)),
+      messages_(registry_.counter("collectagent.messages")),
+      readings_(registry_.counter("collectagent.readings")),
+      decode_errors_(registry_.counter("collectagent.decode.errors")),
+      store_errors_(registry_.counter("collectagent.store.errors")),
+      store_retries_(registry_.counter("collectagent.store.retries")),
+      dead_letters_(registry_.counter("collectagent.dead.letters")),
+      store_latency_(registry_.histogram("collectagent.store.latency")) {
     const bool listen_tcp = config.get_bool_or("global.listenTcp", true);
     const auto port = static_cast<std::uint16_t>(
         config.get_i64_or("global.mqttPort", 0));
     broker_ = std::make_unique<mqtt::MqttBroker>(
         mqtt::BrokerMode::kReduced,
-        [this](const mqtt::Publish& p) { on_publish(p); }, port, listen_tcp);
+        [this](const mqtt::Publish& p) { on_publish(p); }, port, listen_tcp,
+        &registry_);
 
     if (config.get_bool_or("global.restApi", false))
         rest_server_ = make_agent_rest_server(*this);
@@ -58,20 +68,22 @@ bool CollectAgent::insert_with_retry(const SensorId& sid,
                                      const Reading& reading) {
     for (std::uint32_t attempt = 0;; ++attempt) {
         try {
+            const TimestampNs insert_start = steady_ns();
             cluster_->insert(sensor_key(sid, reading.ts), reading.ts,
                              reading.value, ttl_s_, store_node_hint_);
+            store_latency_.record(steady_ns() - insert_start);
             return true;
         } catch (const std::exception& e) {
-            store_errors_.fetch_add(1, std::memory_order_relaxed);
+            store_errors_.add(1);
             if (attempt + 1 >= store_retry_max_) {
-                dead_letters_.fetch_add(1, std::memory_order_relaxed);
+                dead_letters_.add(1);
                 DCDB_WARN("collectagent")
                     << "dead-lettering reading on " << topic << " (ts "
                     << reading.ts << ") after " << store_retry_max_
                     << " attempts: " << e.what();
                 return false;
             }
-            store_retries_.fetch_add(1, std::memory_order_relaxed);
+            store_retries_.add(1);
             // dcdblint: allow-sleep (bounded retry backoff, worker thread)
             std::this_thread::sleep_for(std::chrono::nanoseconds(
                 store_retry_backoff_ns_
@@ -81,7 +93,7 @@ bool CollectAgent::insert_with_retry(const SensorId& sid,
 }
 
 void CollectAgent::on_publish(const mqtt::Publish& message) {
-    messages_.fetch_add(1, std::memory_order_relaxed);
+    messages_.add(1);
 
     // Decode failures are terminal for the whole message (there is
     // nothing to retry) and count as decode_errors. Store failures are
@@ -92,7 +104,7 @@ void CollectAgent::on_publish(const mqtt::Publish& message) {
         sid = mapper_.to_sid(message.topic);
         readings = decode_readings(message.payload);
     } catch (const std::exception& e) {
-        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        decode_errors_.add(1);
         DCDB_WARN("collectagent")
             << "dropping message on " << message.topic << ": " << e.what();
         return;
@@ -108,7 +120,7 @@ void CollectAgent::on_publish(const mqtt::Publish& message) {
         if (live_listener_) live_listener_(message.topic, reading);
     }
     if (stored == 0) return;
-    readings_.fetch_add(stored, std::memory_order_relaxed);
+    readings_.add(stored);
 
     // Cache the newest persisted reading and keep the hierarchy
     // browsable — even when part of the batch was dead-lettered.
@@ -125,7 +137,7 @@ void CollectAgent::ingest(const std::string& topic, const Reading& reading) {
     if (!insert_with_retry(sid, topic, reading)) return;
     cache_.push(topic, reading);
     tree_.add(topic);
-    readings_.fetch_add(1, std::memory_order_relaxed);
+    readings_.add(1);
 }
 
 std::vector<Reading> CollectAgent::query_stored(const std::string& topic,
@@ -147,12 +159,12 @@ std::vector<Reading> CollectAgent::query_stored(const std::string& topic,
 
 CollectAgentStats CollectAgent::stats() const {
     CollectAgentStats s;
-    s.messages = messages_.load();
-    s.readings = readings_.load();
-    s.decode_errors = decode_errors_.load();
-    s.store_errors = store_errors_.load();
-    s.store_retries = store_retries_.load();
-    s.dead_letters = dead_letters_.load();
+    s.messages = messages_.value();
+    s.readings = readings_.value();
+    s.decode_errors = decode_errors_.value();
+    s.store_errors = store_errors_.value();
+    s.store_retries = store_retries_.value();
+    s.dead_letters = dead_letters_.value();
     s.known_sensors = tree_.sensor_count();
     return s;
 }

@@ -20,7 +20,6 @@
 //   }
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -32,6 +31,7 @@
 #include "net/http.hpp"
 #include "store/cluster.hpp"
 #include "store/metastore.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::collectagent {
 
@@ -53,9 +53,12 @@ struct CollectAgentStats {
 class CollectAgent {
   public:
     /// `cluster` and `meta` are owned by the caller (they are shared with
-    /// libDCDB front-ends) and must outlive the agent.
+    /// libDCDB front-ends) and must outlive the agent. `registry`
+    /// receives the collectagent.* metrics (and is forwarded to the
+    /// embedded broker and REST server); nullptr keeps a private one.
     CollectAgent(const ConfigNode& config, store::StoreCluster* cluster,
-                 store::MetaStore* meta);
+                 store::MetaStore* meta,
+                 telemetry::MetricRegistry* registry = nullptr);
     ~CollectAgent();
 
     CollectAgent(const CollectAgent&) = delete;
@@ -72,6 +75,10 @@ class CollectAgent {
     CacheSet& cache() { return cache_; }
     const SensorTree& hierarchy() const { return tree_; }
     TopicMapper& mapper() { return mapper_; }
+
+    /// The agent-wide metric registry (own, broker and REST metrics).
+    telemetry::MetricRegistry& telemetry() { return registry_; }
+    const telemetry::MetricRegistry& telemetry() const { return registry_; }
 
     CollectAgentStats stats() const;
 
@@ -105,6 +112,9 @@ class CollectAgent {
                            const Reading& reading);
 
     store::StoreCluster* cluster_;
+    // Declared before every member that registers metrics into it.
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::MetricRegistry& registry_;
     TopicMapper mapper_;
     CacheSet cache_;
     SensorTree tree_;
@@ -117,12 +127,13 @@ class CollectAgent {
     std::unique_ptr<mqtt::MqttBroker> broker_;
     std::unique_ptr<HttpServer> rest_server_;
 
-    std::atomic<std::uint64_t> messages_{0};
-    std::atomic<std::uint64_t> readings_{0};
-    std::atomic<std::uint64_t> decode_errors_{0};
-    std::atomic<std::uint64_t> store_errors_{0};
-    std::atomic<std::uint64_t> store_retries_{0};
-    std::atomic<std::uint64_t> dead_letters_{0};
+    telemetry::Counter& messages_;
+    telemetry::Counter& readings_;
+    telemetry::Counter& decode_errors_;
+    telemetry::Counter& store_errors_;
+    telemetry::Counter& store_retries_;
+    telemetry::Counter& dead_letters_;
+    telemetry::Histogram& store_latency_;
 };
 
 /// REST server factory (shared by the agent constructor).

@@ -7,6 +7,7 @@
 
 #include "collectagent/collect_agent.hpp"
 #include "common/string_utils.hpp"
+#include "telemetry/export.hpp"
 
 namespace dcdb::collectagent {
 
@@ -19,17 +20,29 @@ HttpResponse handle_sensors(CollectAgent& agent, const HttpRequest& req) {
         for (const auto& t : agent.cache().topics()) os << t << "\n";
         return HttpResponse::ok(os.str());
     }
+    telemetry::Counter& hits =
+        agent.telemetry().counter("collectagent.cache.hits");
+    telemetry::Counter& misses =
+        agent.telemetry().counter("collectagent.cache.misses");
     const auto avg_param = req.query.find("avg");
     if (avg_param != req.query.end()) {
         const auto secs = parse_double(avg_param->second);
         if (!secs) return HttpResponse::bad_request("bad avg parameter\n");
         const auto avg = agent.cache().average(
             topic, static_cast<TimestampNs>(*secs * 1e9));
-        if (!avg) return HttpResponse::not_found("no data for " + topic + "\n");
+        if (!avg) {
+            misses.add(1);
+            return HttpResponse::not_found("no data for " + topic + "\n");
+        }
+        hits.add(1);
         return HttpResponse::ok(strfmt("%.6f\n", *avg));
     }
     const auto latest = agent.cache().latest(topic);
-    if (!latest) return HttpResponse::not_found("no data for " + topic + "\n");
+    if (!latest) {
+        misses.add(1);
+        return HttpResponse::not_found("no data for " + topic + "\n");
+    }
+    hits.add(1);
     return HttpResponse::ok(strfmt("%llu %lld\n",
                                    static_cast<unsigned long long>(latest->ts),
                                    static_cast<long long>(latest->value)));
@@ -65,7 +78,8 @@ HttpResponse handle_hierarchy(CollectAgent& agent, const HttpRequest& req) {
 
 std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
     return std::make_unique<HttpServer>(
-        0, [&agent](const HttpRequest& req) -> HttpResponse {
+        0,
+        [&agent](const HttpRequest& req) -> HttpResponse {
             if (starts_with(req.path, "/sensors"))
                 return handle_sensors(agent, req);
             if (req.path == "/hierarchy")
@@ -85,12 +99,21 @@ std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
                     static_cast<unsigned long long>(s.dead_letters),
                     s.known_sensors));
             }
+            if (req.path == "/metrics")
+                return HttpResponse::ok(
+                    telemetry::to_prometheus(agent.telemetry()),
+                    "text/plain; version=0.0.4");
+            if (req.path == "/metrics.json")
+                return HttpResponse::ok(
+                    telemetry::to_json(agent.telemetry()),
+                    "application/json");
             if (req.path == "/")
                 return HttpResponse::ok(
                     "dcdb collect agent: /sensors /hierarchy /query "
-                    "/stats\n");
+                    "/stats /metrics /metrics.json\n");
             return HttpResponse::not_found();
-        });
+        },
+        &agent.telemetry());
 }
 
 }  // namespace dcdb::collectagent

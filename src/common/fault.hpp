@@ -70,7 +70,9 @@ class FaultInjector {
 
     struct Slot {
         std::atomic<bool> armed{false};
+        // dcdblint: allow-atomic(common cannot depend on telemetry)
         std::atomic<std::uint64_t> injected{0};
+        // dcdblint: allow-atomic(same)
         std::atomic<std::uint64_t> rolls{0};
         mutable Mutex mutex;
         FaultSpec spec DCDB_GUARDED_BY(mutex);

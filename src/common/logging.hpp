@@ -32,6 +32,7 @@ class Logger {
 
   private:
     Logger() = default;
+    // dcdblint: allow-atomic(log level switch, not a stat counter)
     std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
 };
 

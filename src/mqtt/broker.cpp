@@ -6,8 +6,22 @@
 namespace dcdb::mqtt {
 
 MqttBroker::MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port,
-                       bool listen_tcp)
-    : mode_(mode), sink_(std::move(sink)) {
+                       bool listen_tcp, telemetry::MetricRegistry* registry)
+    : mode_(mode),
+      sink_(std::move(sink)),
+      connections_(telemetry::resolve_registry(registry, owned_registry_)
+                       .counter("mqtt.broker.connections")),
+      publishes_(telemetry::resolve_registry(registry, owned_registry_)
+                     .counter("mqtt.broker.publishes")),
+      payload_bytes_(telemetry::resolve_registry(registry, owned_registry_)
+                         .counter("mqtt.broker.bytes.in")),
+      forwarded_(telemetry::resolve_registry(registry, owned_registry_)
+                     .counter("mqtt.broker.forwarded")),
+      rejected_subscribes_(
+          telemetry::resolve_registry(registry, owned_registry_)
+              .counter("mqtt.broker.rejected.subscribes")),
+      open_sessions_(telemetry::resolve_registry(registry, owned_registry_)
+                         .gauge("mqtt.broker.sessions")) {
     if (listen_tcp) {
         listener_ = std::make_unique<TcpListener>(port);
         listener_->set_accept_timeout_ms(200);
@@ -37,6 +51,7 @@ void MqttBroker::stop() {
     for (auto& s : finished) {
         if (s->thread.joinable()) s->thread.join();
     }
+    open_sessions_.set(0);
 }
 
 void MqttBroker::accept_loop() {
@@ -62,6 +77,7 @@ void MqttBroker::attach(std::unique_ptr<Transport> transport) {
     MutexLock lock(mutex_);
     reap_finished_locked();
     sessions_.push_back(std::move(session));
+    open_sessions_.add(1);
     raw->thread = std::thread([this, raw] { session_loop(raw); });
 }
 
@@ -81,7 +97,7 @@ void MqttBroker::session_loop(Session* session) {
             if (auto* connect = std::get_if<Connect>(&*packet)) {
                 session->client_id = connect->client_id;
                 session->connected.store(true, std::memory_order_release);
-                connections_.fetch_add(1, std::memory_order_relaxed);
+                connections_.add(1);
                 session->stream.write_packet(Connack{0, false});
             } else if (!session->connected.load(std::memory_order_relaxed)) {
                 throw ProtocolError("packet before CONNECT");
@@ -93,8 +109,7 @@ void MqttBroker::session_loop(Session* session) {
                 if (mode_ == BrokerMode::kReduced) {
                     // Reduced broker: no topic filtering at all.
                     ack.return_codes.assign(sub->filters.size(), 0x80);
-                    rejected_subscribes_.fetch_add(
-                        sub->filters.size(), std::memory_order_relaxed);
+                    rejected_subscribes_.add(sub->filters.size());
                 } else {
                     MutexLock lock(mutex_);
                     for (const auto& [filter, qos] : sub->filters) {
@@ -130,14 +145,15 @@ void MqttBroker::session_loop(Session* session) {
         if (it->get() == session) {
             finished_.push_back(std::move(*it));
             sessions_.erase(it);
+            open_sessions_.sub(1);
             break;
         }
     }
 }
 
 void MqttBroker::handle_publish(Session* session, const Publish& p) {
-    publishes_.fetch_add(1, std::memory_order_relaxed);
-    payload_bytes_.fetch_add(p.payload.size(), std::memory_order_relaxed);
+    publishes_.add(1);
+    payload_bytes_.add(p.payload.size());
     // Process before acknowledging: a QoS-1 PUBACK means the reading has
     // reached the storage path, so publishers can rely on it.
     if (sink_) sink_(p);
@@ -162,7 +178,7 @@ void MqttBroker::route(const Publish& p) {
                 } catch (const std::exception&) {
                     // Subscriber went away; its session loop will clean up.
                 }
-                forwarded_.fetch_add(1, std::memory_order_relaxed);
+                forwarded_.add(1);
                 break;
             }
         }
@@ -171,11 +187,12 @@ void MqttBroker::route(const Publish& p) {
 
 BrokerStats MqttBroker::stats() const {
     BrokerStats s;
-    s.connections = connections_.load();
-    s.publishes = publishes_.load();
-    s.payload_bytes = payload_bytes_.load();
-    s.forwarded = forwarded_.load();
-    s.rejected_subscribes = rejected_subscribes_.load();
+    s.connections = connections_.value();
+    s.publishes = publishes_.value();
+    s.payload_bytes = payload_bytes_.value();
+    s.forwarded = forwarded_.value();
+    s.rejected_subscribes = rejected_subscribes_.value();
+    s.open_sessions = open_sessions_.value();
     return s;
 }
 

@@ -24,6 +24,7 @@
 
 #include "common/mutex.hpp"
 #include "mqtt/transport.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::mqtt {
 
@@ -35,6 +36,7 @@ struct BrokerStats {
     std::uint64_t payload_bytes{0};
     std::uint64_t forwarded{0};
     std::uint64_t rejected_subscribes{0};
+    std::int64_t open_sessions{0};
 };
 
 class MqttBroker {
@@ -43,9 +45,12 @@ class MqttBroker {
     using MessageSink = std::function<void(const Publish&)>;
 
     /// Start the broker. `port` 0 picks an ephemeral TCP port; pass
-    /// `listen_tcp = false` for a purely in-process broker.
+    /// `listen_tcp = false` for a purely in-process broker. When
+    /// `registry` is given, broker counters (mqtt.broker.*) land there;
+    /// otherwise the broker keeps a private registry.
     MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port = 0,
-               bool listen_tcp = true);
+               bool listen_tcp = true,
+               telemetry::MetricRegistry* registry = nullptr);
     ~MqttBroker();
 
     MqttBroker(const MqttBroker&) = delete;
@@ -85,6 +90,15 @@ class MqttBroker {
 
     BrokerMode mode_;
     MessageSink sink_;
+    // Registry-backed stat counters (see DESIGN.md §8); the owned
+    // registry only exists when no external one was supplied.
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& connections_;
+    telemetry::Counter& publishes_;
+    telemetry::Counter& payload_bytes_;
+    telemetry::Counter& forwarded_;
+    telemetry::Counter& rejected_subscribes_;
+    telemetry::Gauge& open_sessions_;
     std::unique_ptr<TcpListener> listener_;
     std::uint16_t port_{0};
     std::thread accept_thread_;
@@ -93,12 +107,6 @@ class MqttBroker {
     mutable Mutex mutex_;
     std::list<std::unique_ptr<Session>> sessions_ DCDB_GUARDED_BY(mutex_);
     std::vector<std::unique_ptr<Session>> finished_ DCDB_GUARDED_BY(mutex_);
-
-    std::atomic<std::uint64_t> connections_{0};
-    std::atomic<std::uint64_t> publishes_{0};
-    std::atomic<std::uint64_t> payload_bytes_{0};
-    std::atomic<std::uint64_t> forwarded_{0};
-    std::atomic<std::uint64_t> rejected_subscribes_{0};
 };
 
 }  // namespace dcdb::mqtt

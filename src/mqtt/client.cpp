@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 
 namespace dcdb::mqtt {
@@ -11,17 +12,28 @@ constexpr auto kAckTimeout = std::chrono::seconds(10);
 }
 
 MqttClient::MqttClient(std::unique_ptr<Transport> transport,
-                       std::string client_id)
-    : stream_(std::move(transport)), client_id_(std::move(client_id)) {}
+                       std::string client_id,
+                       telemetry::MetricRegistry* registry)
+    : stream_(std::move(transport)),
+      client_id_(std::move(client_id)),
+      publishes_sent_(telemetry::resolve_registry(registry, owned_registry_)
+                          .counter("mqtt.client.publishes")),
+      bytes_sent_(telemetry::resolve_registry(registry, owned_registry_)
+                      .counter("mqtt.client.bytes.sent")),
+      acks_(telemetry::resolve_registry(registry, owned_registry_)
+                .counter("mqtt.client.acks")),
+      publish_latency_(telemetry::resolve_registry(registry, owned_registry_)
+                           .histogram("mqtt.client.publish.latency")) {}
 
 MqttClient::~MqttClient() { disconnect(); }
 
 std::unique_ptr<MqttClient> MqttClient::connect_tcp(
-    const std::string& host, std::uint16_t port, const std::string& client_id) {
+    const std::string& host, std::uint16_t port, const std::string& client_id,
+    telemetry::MetricRegistry* registry) {
     auto transport =
         std::make_unique<TcpTransport>(TcpStream::connect(host, port));
-    auto client =
-        std::make_unique<MqttClient>(std::move(transport), client_id);
+    auto client = std::make_unique<MqttClient>(std::move(transport),
+                                               client_id, registry);
     client->connect();
     return client;
 }
@@ -54,6 +66,7 @@ void MqttClient::reader_loop() {
                 }
                 if (handler) handler(*pub);
             } else if (auto* ack = std::get_if<Puback>(&*packet)) {
+                acks_.add(1);
                 MutexLock lock(ack_mutex_);
                 pending_acks_.erase(ack->packet_id);
                 ack_cv_.notify_all();
@@ -110,6 +123,7 @@ void MqttClient::publish(const std::string& topic,
     p.topic = topic;
     p.payload.assign(payload.begin(), payload.end());
     p.qos = qos;
+    const TimestampNs start = steady_ns();
     if (qos == 0) {
         stream_.write_packet(p);
     } else {
@@ -121,9 +135,9 @@ void MqttClient::publish(const std::string& topic,
         stream_.write_packet(p);
         wait_ack(p.packet_id, "publish");
     }
-    publishes_sent_.fetch_add(1, std::memory_order_relaxed);
-    bytes_sent_.fetch_add(p.payload.size() + topic.size(),
-                          std::memory_order_relaxed);
+    publish_latency_.record(steady_ns() - start);
+    publishes_sent_.add(1);
+    bytes_sent_.add(p.payload.size() + topic.size());
 }
 
 void MqttClient::publish(const std::string& topic, const std::string& payload,

@@ -18,6 +18,7 @@
 
 #include "common/mutex.hpp"
 #include "mqtt/transport.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::mqtt {
 
@@ -26,17 +27,22 @@ class MqttClient {
     using MessageHandler = std::function<void(const Publish&)>;
 
     /// Wrap a connected transport. Call connect() before anything else.
+    /// Passing a registry shares the mqtt.client.* counters with the
+    /// owner (so a reconnecting Pusher keeps cumulative counts across
+    /// client instances); nullptr keeps a private registry.
     explicit MqttClient(std::unique_ptr<Transport> transport,
-                        std::string client_id);
+                        std::string client_id,
+                        telemetry::MetricRegistry* registry = nullptr);
     ~MqttClient();
 
     MqttClient(const MqttClient&) = delete;
     MqttClient& operator=(const MqttClient&) = delete;
 
     /// Convenience: open a TCP connection and perform the MQTT handshake.
-    static std::unique_ptr<MqttClient> connect_tcp(const std::string& host,
-                                                   std::uint16_t port,
-                                                   const std::string& client_id);
+    static std::unique_ptr<MqttClient> connect_tcp(
+        const std::string& host, std::uint16_t port,
+        const std::string& client_id,
+        telemetry::MetricRegistry* registry = nullptr);
 
     /// CONNECT/CONNACK handshake; starts the reader thread on success.
     void connect(std::uint16_t keepalive_s = 60);
@@ -65,8 +71,9 @@ class MqttClient {
     bool connected() const { return connected_.load(); }
 
     /// Counters for footprint accounting.
-    std::uint64_t publishes_sent() const { return publishes_sent_.load(); }
-    std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+    std::uint64_t publishes_sent() const { return publishes_sent_.value(); }
+    std::uint64_t bytes_sent() const { return bytes_sent_.value(); }
+    std::uint64_t acks_received() const { return acks_.value(); }
 
   private:
     void reader_loop();
@@ -76,6 +83,11 @@ class MqttClient {
 
     PacketStream stream_;
     std::string client_id_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& publishes_sent_;
+    telemetry::Counter& bytes_sent_;
+    telemetry::Counter& acks_;
+    telemetry::Histogram& publish_latency_;
 
     std::thread reader_;
     std::atomic<bool> connected_{false};
@@ -88,9 +100,6 @@ class MqttClient {
         DCDB_GUARDED_BY(ack_mutex_);
     std::uint16_t packet_id_seq_ DCDB_GUARDED_BY(ack_mutex_){0};
     bool ping_outstanding_ DCDB_GUARDED_BY(ack_mutex_){false};
-
-    std::atomic<std::uint64_t> publishes_sent_{0};
-    std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 }  // namespace dcdb::mqtt

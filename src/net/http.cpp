@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
 
@@ -139,6 +140,29 @@ std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
     return os.str();
 }
 
+/// First path segment, folded into the telemetry name alphabet. Route
+/// names come from the fixed REST surface, so cardinality stays small;
+/// anything odd (long, empty after sanitizing) becomes "other".
+std::string route_metric_component(const std::string& path) {
+    std::size_t begin = path.find_first_not_of('/');
+    if (begin == std::string::npos) return "root";
+    std::size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    std::string out;
+    for (std::size_t i = begin; i < end && out.size() < 24; ++i) {
+        const char c = path[i];
+        if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+            out.push_back(c);
+        } else if (c >= 'A' && c <= 'Z') {
+            out.push_back(static_cast<char>(c - 'A' + 'a'));
+        } else {
+            out.push_back('_');
+        }
+    }
+    if (out.empty() || end - begin > 24) return "other";
+    return out;
+}
+
 }  // namespace
 
 std::map<std::string, std::string> parse_query_string(const std::string& qs) {
@@ -155,8 +179,13 @@ std::map<std::string, std::string> parse_query_string(const std::string& qs) {
     return out;
 }
 
-HttpServer::HttpServer(std::uint16_t port, HttpHandler handler)
-    : handler_(std::move(handler)), listener_(port), port_(listener_.port()) {
+HttpServer::HttpServer(std::uint16_t port, HttpHandler handler,
+                       telemetry::MetricRegistry* registry)
+    : handler_(std::move(handler)),
+      registry_(telemetry::resolve_registry(registry, owned_registry_)),
+      requests_(registry_.counter("http.requests")),
+      listener_(port),
+      port_(listener_.port()) {
     listener_.set_accept_timeout_ms(200);
     accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -202,12 +231,17 @@ void HttpServer::serve_connection(TcpStream stream) {
                 req.headers.count("connection") == 0 ||
                 to_lower(req.headers["connection"]) != "close";
             HttpResponse resp;
+            requests_.add(1);
+            const TimestampNs handler_start = steady_ns();
             try {
                 resp = handler_(req);
             } catch (const std::exception& e) {
                 resp = HttpResponse::error(std::string("handler error: ") +
                                            e.what() + "\n");
             }
+            registry_
+                .histogram("http.latency." + route_metric_component(req.path))
+                .record(steady_ns() - handler_start);
             stream.write_all(serialize_response(resp, keep_alive));
             if (!keep_alive) break;
         }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/socket.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb {
 
@@ -62,8 +63,12 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 /// supporting pipelined keep-alive requests.
 class HttpServer {
   public:
-    /// Start serving immediately. Port 0 = ephemeral.
-    HttpServer(std::uint16_t port, HttpHandler handler);
+    /// Start serving immediately. Port 0 = ephemeral. When `registry` is
+    /// given the server records http.requests and a per-route
+    /// http.latency.<route> histogram into it (route = sanitized first
+    /// path segment, so cardinality tracks the API surface).
+    HttpServer(std::uint16_t port, HttpHandler handler,
+               telemetry::MetricRegistry* registry = nullptr);
     ~HttpServer();
 
     HttpServer(const HttpServer&) = delete;
@@ -77,6 +82,9 @@ class HttpServer {
     void serve_connection(TcpStream stream);
 
     HttpHandler handler_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::MetricRegistry& registry_;
+    telemetry::Counter& requests_;
     TcpListener listener_;
     std::uint16_t port_;
     std::atomic<bool> stopping_{false};

@@ -12,6 +12,28 @@ MqttPusher::MqttPusher(ClientProvider client_provider,
     : client_provider_(std::move(client_provider)),
       plugins_(plugins),
       config_(config),
+      readings_(telemetry::resolve_registry(config_.registry, owned_registry_)
+                    .counter("pusher.push.readings")),
+      messages_(telemetry::resolve_registry(config_.registry, owned_registry_)
+                    .counter("pusher.push.messages")),
+      publish_failures_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("pusher.push.failures")),
+      retry_publishes_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("pusher.push.retry.publishes")),
+      readings_requeued_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("pusher.push.requeued")),
+      readings_dropped_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("pusher.push.dropped")),
+      retry_batches_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .gauge("pusher.retry.queue.batches")),
+      retry_readings_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .gauge("pusher.retry.queue.readings")),
       jitter_rng_(config.stagger_seed ^ 0xD1CEu) {}
 
 MqttPusher::~MqttPusher() { stop(); }
@@ -46,13 +68,13 @@ bool MqttPusher::publish_batch(mqtt::MqttClient* client,
     try {
         client->publish(topic, encode_readings(readings), config_.qos);
     } catch (const std::exception& e) {
-        publish_failures_.fetch_add(1, std::memory_order_relaxed);
+        publish_failures_.add(1);
         DCDB_DEBUG("pusher") << "publish failed on " << topic << ": "
                              << e.what();
         return false;
     }
-    readings_.fetch_add(readings.size(), std::memory_order_relaxed);
-    messages_.fetch_add(1, std::memory_order_relaxed);
+    readings_.add(readings.size());
+    messages_.add(1);
     return true;
 }
 
@@ -71,17 +93,17 @@ void MqttPusher::bump_backoff_locked() {
 
 void MqttPusher::requeue(std::string topic, std::vector<Reading> readings) {
     MutexLock lock(retry_mutex_);
-    readings_requeued_.fetch_add(readings.size(), std::memory_order_relaxed);
-    retry_readings_.fetch_add(readings.size(), std::memory_order_relaxed);
+    readings_requeued_.add(readings.size());
+    retry_readings_.add(static_cast<std::int64_t>(readings.size()));
     retry_queue_.push_back({std::move(topic), std::move(readings)});
-    retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+    retry_batches_.set(static_cast<std::int64_t>(retry_queue_.size()));
     while (retry_queue_.size() > config_.retry_max_batches) {
         // Drop policy: oldest first, and count the loss.
         const std::size_t lost = retry_queue_.front().readings.size();
         retry_queue_.pop_front();
-        readings_dropped_.fetch_add(lost, std::memory_order_relaxed);
-        retry_readings_.fetch_sub(lost, std::memory_order_relaxed);
-        retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+        readings_dropped_.add(lost);
+        retry_readings_.sub(static_cast<std::int64_t>(lost));
+        retry_batches_.set(static_cast<std::int64_t>(retry_queue_.size()));
     }
     bump_backoff_locked();
 }
@@ -95,15 +117,14 @@ std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
     std::size_t sent = 0;
     while (!retry_queue_.empty()) {
         PendingBatch& batch = retry_queue_.front();
-        retry_publishes_.fetch_add(1, std::memory_order_relaxed);
+        retry_publishes_.add(1);
         if (!publish_batch(client, batch.topic, batch.readings)) {
             bump_backoff_locked();  // still failing: wait longer
             return sent;
         }
-        retry_readings_.fetch_sub(batch.readings.size(),
-                                  std::memory_order_relaxed);
+        retry_readings_.sub(static_cast<std::int64_t>(batch.readings.size()));
         retry_queue_.pop_front();
-        retry_batches_.store(retry_queue_.size(), std::memory_order_relaxed);
+        retry_batches_.set(static_cast<std::int64_t>(retry_queue_.size()));
         ++sent;
     }
     retry_backoff_ns_ = 0;  // queue drained: back to normal operation
@@ -134,14 +155,18 @@ std::size_t MqttPusher::push_once() {
 
 MqttPusherStats MqttPusher::stats() const {
     MqttPusherStats s;
-    s.readings_pushed = readings_.load();
-    s.messages_sent = messages_.load();
-    s.publish_failures = publish_failures_.load();
-    s.retry_publishes = retry_publishes_.load();
-    s.readings_requeued = readings_requeued_.load();
-    s.readings_dropped = readings_dropped_.load();
-    s.retry_queue_batches = retry_batches_.load();
-    s.retry_queue_readings = retry_readings_.load();
+    s.readings_pushed = readings_.value();
+    s.messages_sent = messages_.value();
+    s.publish_failures = publish_failures_.value();
+    s.retry_publishes = retry_publishes_.value();
+    s.readings_requeued = readings_requeued_.value();
+    s.readings_dropped = readings_dropped_.value();
+    s.retry_queue_batches =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            retry_batches_.value(), 0));
+    s.retry_queue_readings =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            retry_readings_.value(), 0));
     return s;
 }
 

@@ -30,6 +30,7 @@
 #include "common/random.hpp"
 #include "mqtt/client.hpp"
 #include "pusher/plugin.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::pusher {
 
@@ -45,6 +46,9 @@ struct MqttPusherConfig {
     /// Exponential backoff window for retrying failed publishes.
     TimestampNs retry_backoff_min_ns{100 * kNsPerMs};
     TimestampNs retry_backoff_max_ns{10 * kNsPerSec};
+    /// Registry for the pusher.push.* counters and retry-queue gauges;
+    /// nullptr keeps a private registry.
+    telemetry::MetricRegistry* registry{nullptr};
 };
 
 struct MqttPusherStats {
@@ -78,8 +82,8 @@ class MqttPusher {
     /// a final flush on shutdown). Retry-queue batches go first.
     std::size_t push_once();
 
-    std::uint64_t readings_pushed() const { return readings_.load(); }
-    std::uint64_t messages_sent() const { return messages_.load(); }
+    std::uint64_t readings_pushed() const { return readings_.value(); }
+    std::uint64_t messages_sent() const { return messages_.value(); }
 
     MqttPusherStats stats() const;
 
@@ -103,10 +107,19 @@ class MqttPusher {
     ClientProvider client_provider_;
     const std::vector<std::unique_ptr<Plugin>>* plugins_;
     MqttPusherConfig config_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& readings_;
+    telemetry::Counter& messages_;
+    telemetry::Counter& publish_failures_;
+    telemetry::Counter& retry_publishes_;
+    telemetry::Counter& readings_requeued_;
+    telemetry::Counter& readings_dropped_;
+    // Queue-depth gauges: updated under retry_mutex_ but readable by
+    // stats() without blocking on a publish in flight.
+    telemetry::Gauge& retry_batches_;
+    telemetry::Gauge& retry_readings_;
     std::thread thread_;
     std::atomic<bool> stopping_{false};
-    std::atomic<std::uint64_t> readings_{0};
-    std::atomic<std::uint64_t> messages_{0};
 
     Mutex retry_mutex_;
     std::deque<PendingBatch> retry_queue_ DCDB_GUARDED_BY(retry_mutex_);
@@ -115,15 +128,6 @@ class MqttPusher {
     // steady-clock gate
     TimestampNs retry_next_attempt_ns_ DCDB_GUARDED_BY(retry_mutex_){0};
     Rng jitter_rng_ DCDB_GUARDED_BY(retry_mutex_){0xD1CEu};
-
-    // Queue depth mirrors kept atomic so stats() never blocks on a
-    // publish in flight under retry_mutex_.
-    std::atomic<std::size_t> retry_batches_{0};
-    std::atomic<std::size_t> retry_readings_{0};
-    std::atomic<std::uint64_t> publish_failures_{0};
-    std::atomic<std::uint64_t> retry_publishes_{0};
-    std::atomic<std::uint64_t> readings_requeued_{0};
-    std::atomic<std::uint64_t> readings_dropped_{0};
 };
 
 }  // namespace dcdb::pusher

@@ -6,11 +6,15 @@
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
 #include "pusher/rest_api.hpp"
+#include "pusher/telemetry_feed.hpp"
 
 namespace dcdb::pusher {
 
 Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      reconnects_(registry_.counter("pusher.reconnects")),
+      reconnect_failures_(registry_.counter("pusher.reconnect.failures")),
+      cache_bytes_(registry_.gauge("pusher.cache.bytes")) {
     plugins::register_builtin_plugins();
 
     topic_prefix_ = config_.get_string_or("global.topicPrefix", "/node");
@@ -20,7 +24,7 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
 
     const int threads = static_cast<int>(
         config_.get_i64_or("global.threads", 2));
-    sampler_ = std::make_unique<Sampler>(threads, cache_.get());
+    sampler_ = std::make_unique<Sampler>(threads, cache_.get(), &registry_);
 
     configure_plugins();
 
@@ -29,7 +33,7 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         config_.get_string_or("global.mqttBroker", "none");
     if (transport) {
         mqtt_client_ = std::make_unique<mqtt::MqttClient>(
-            std::move(transport), "pusher-" + topic_prefix_);
+            std::move(transport), "pusher-" + topic_prefix_, &registry_);
         mqtt_client_->connect();
     } else if (broker != "none" && !broker.empty()) {
         const auto parts = split_nonempty(broker, ':');
@@ -42,7 +46,8 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         broker_port_ = static_cast<std::uint16_t>(*port);
         try {
             mqtt_client_ = mqtt::MqttClient::connect_tcp(
-                broker_host_, broker_port_, "pusher-" + topic_prefix_);
+                broker_host_, broker_port_, "pusher-" + topic_prefix_,
+                &registry_);
         } catch (const NetError& e) {
             // The agent may simply not be up yet; sample into the cache
             // and keep retrying from the push thread.
@@ -70,12 +75,33 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
             "global.retryBackoffMin", 100 * kNsPerMs);
         mc.retry_backoff_max_ns = config_.get_duration_ns_or(
             "global.retryBackoffMax", 10 * kNsPerSec);
+        mc.registry = &registry_;
         mqtt_pusher_ = std::make_unique<MqttPusher>(
             [this] { return client_for_push(); }, &plugins_, mc);
     }
 
     if (config_.get_bool_or("global.restApi", false))
         rest_server_ = make_pusher_rest_server(*this);
+
+    // The self-feed plugin goes last, after every subsystem above has
+    // registered its metrics: the TelemetryGroup's sensor set is a
+    // snapshot of the registry at this point (telemetry_feed.hpp).
+    if (config_.get_bool_or("global.telemetryFeed", false)) {
+        const auto interval = config_.get_duration_ns_or(
+            "global.telemetryInterval", 10 * kNsPerSec);
+        auto feed = std::make_unique<TelemetryPlugin>(
+            &registry_, topic_prefix_, interval,
+            [this] {
+                cache_bytes_.set(
+                    static_cast<std::int64_t>(cache_->memory_bytes()));
+            });
+        for (const auto& group : feed->groups())
+            sampler_->add_group(group.get());
+        DCDB_INFO("pusher") << "telemetry self-feed: "
+                            << feed->sensor_count() << " sensors, interval "
+                            << interval << "ns";
+        plugins_.push_back(std::move(feed));
+    }
 }
 
 std::unique_ptr<Pusher> Pusher::from_file(
@@ -178,14 +204,15 @@ mqtt::MqttClient* Pusher::client_for_push() {
     try {
         if (mqtt_client_) mqtt_client_->disconnect();
         mqtt_client_ = mqtt::MqttClient::connect_tcp(
-            broker_host_, broker_port_, "pusher-" + topic_prefix_);
+            broker_host_, broker_port_, "pusher-" + topic_prefix_,
+            &registry_);
         reconnect_backoff_ns_ = 0;
         reconnect_delay_ns_ = 0;
-        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        reconnects_.add(1);
         DCDB_INFO("pusher") << "reconnected to collect agent";
         return mqtt_client_.get();
     } catch (const NetError&) {
-        reconnect_failures_.fetch_add(1, std::memory_order_relaxed);
+        reconnect_failures_.add(1);
         reconnect_backoff_ns_ =
             reconnect_backoff_ns_ == 0
                 ? reconnect_backoff_min_ns_
@@ -218,9 +245,10 @@ PusherStats Pusher::stats() const {
         s.retry_queue_batches = ms.retry_queue_batches;
         s.retry_queue_readings = ms.retry_queue_readings;
     }
-    s.reconnects = reconnects_.load();
-    s.reconnect_failures = reconnect_failures_.load();
+    s.reconnects = reconnects_.value();
+    s.reconnect_failures = reconnect_failures_.value();
     s.cache_bytes = cache_->memory_bytes();
+    cache_bytes_.set(static_cast<std::int64_t>(s.cache_bytes));
     return s;
 }
 

@@ -35,6 +35,7 @@
 #include "pusher/mqtt_pusher.hpp"
 #include "pusher/plugin.hpp"
 #include "pusher/sampler.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::pusher {
 
@@ -89,6 +90,12 @@ class Pusher {
     CacheSet& cache() { return *cache_; }
     const std::string& topic_prefix() const { return topic_prefix_; }
 
+    /// The Pusher-wide metric registry: every subsystem (sampler, push
+    /// loop, MQTT client, REST server) registers here, and /metrics and
+    /// the self-feed read from here.
+    telemetry::MetricRegistry& telemetry() { return registry_; }
+    const telemetry::MetricRegistry& telemetry() const { return registry_; }
+
     PusherStats stats() const;
 
     const ConfigNode& config() const { return config_; }
@@ -114,6 +121,12 @@ class Pusher {
     std::string config_path_;  // for reloads; may be empty
     std::string topic_prefix_;
 
+    // Declared before every subsystem that registers metrics into it.
+    telemetry::MetricRegistry registry_;
+    telemetry::Counter& reconnects_;
+    telemetry::Counter& reconnect_failures_;
+    telemetry::Gauge& cache_bytes_;
+
     std::unique_ptr<CacheSet> cache_;
     std::vector<std::unique_ptr<Plugin>> plugins_;
     std::unique_ptr<Sampler> sampler_;
@@ -133,8 +146,6 @@ class Pusher {
     TimestampNs reconnect_backoff_min_ns_{250 * kNsPerMs};
     TimestampNs reconnect_backoff_max_ns_{10 * kNsPerSec};
     Rng reconnect_rng_ DCDB_GUARDED_BY(client_mutex_){0xC0FFEEu};
-    std::atomic<std::uint64_t> reconnects_{0};
-    std::atomic<std::uint64_t> reconnect_failures_{0};
     std::unique_ptr<MqttPusher> mqtt_pusher_;
     std::unique_ptr<HttpServer> rest_server_;
     bool started_{false};

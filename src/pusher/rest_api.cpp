@@ -4,6 +4,7 @@
 
 #include "common/string_utils.hpp"
 #include "pusher/pusher.hpp"
+#include "telemetry/export.hpp"
 
 namespace dcdb::pusher {
 
@@ -17,18 +18,30 @@ HttpResponse handle_sensors(Pusher& pusher, const HttpRequest& req) {
         return HttpResponse::ok(os.str());
     }
 
+    telemetry::Counter& hits = pusher.telemetry().counter("pusher.cache.hits");
+    telemetry::Counter& misses =
+        pusher.telemetry().counter("pusher.cache.misses");
+
     const auto avg_param = req.query.find("avg");
     if (avg_param != req.query.end()) {
         const auto secs = parse_double(avg_param->second);
         if (!secs) return HttpResponse::bad_request("bad avg parameter\n");
         const auto avg = pusher.cache().average(
             topic, static_cast<TimestampNs>(*secs * 1e9));
-        if (!avg) return HttpResponse::not_found("no data for " + topic + "\n");
+        if (!avg) {
+            misses.add(1);
+            return HttpResponse::not_found("no data for " + topic + "\n");
+        }
+        hits.add(1);
         return HttpResponse::ok(strfmt("%.6f\n", *avg));
     }
 
     const auto latest = pusher.cache().latest(topic);
-    if (!latest) return HttpResponse::not_found("no data for " + topic + "\n");
+    if (!latest) {
+        misses.add(1);
+        return HttpResponse::not_found("no data for " + topic + "\n");
+    }
+    hits.add(1);
     return HttpResponse::ok(strfmt("%llu %lld\n",
                                    static_cast<unsigned long long>(latest->ts),
                                    static_cast<long long>(latest->value)));
@@ -94,7 +107,8 @@ HttpResponse handle_stats(Pusher& pusher) {
 
 std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
     return std::make_unique<HttpServer>(
-        0, [&pusher](const HttpRequest& req) -> HttpResponse {
+        0,
+        [&pusher](const HttpRequest& req) -> HttpResponse {
             if (starts_with(req.path, "/sensors"))
                 return handle_sensors(pusher, req);
             if (starts_with(req.path, "/plugins"))
@@ -102,11 +116,21 @@ std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
             if (req.path == "/config")
                 return HttpResponse::ok(pusher.config().to_string());
             if (req.path == "/stats") return handle_stats(pusher);
+            if (req.path == "/metrics")
+                return HttpResponse::ok(
+                    telemetry::to_prometheus(pusher.telemetry()),
+                    "text/plain; version=0.0.4");
+            if (req.path == "/metrics.json")
+                return HttpResponse::ok(
+                    telemetry::to_json(pusher.telemetry()),
+                    "application/json");
             if (req.path == "/")
                 return HttpResponse::ok(
-                    "dcdb pusher: /sensors /plugins /config /stats\n");
+                    "dcdb pusher: /sensors /plugins /config /stats "
+                    "/metrics /metrics.json\n");
             return HttpResponse::not_found();
-        });
+        },
+        &pusher.telemetry());
 }
 
 }  // namespace dcdb::pusher

@@ -6,8 +6,14 @@
 
 namespace dcdb::pusher {
 
-Sampler::Sampler(int threads, CacheSet* cache)
-    : thread_count_(std::max(threads, 1)), cache_(cache) {}
+Sampler::Sampler(int threads, CacheSet* cache,
+                 telemetry::MetricRegistry* registry)
+    : thread_count_(std::max(threads, 1)),
+      cache_(cache),
+      samples_(telemetry::resolve_registry(registry, owned_registry_)
+                   .counter("pusher.samples")),
+      sample_latency_(telemetry::resolve_registry(registry, owned_registry_)
+                          .histogram("pusher.sample.latency")) {}
 
 Sampler::~Sampler() { stop(); }
 
@@ -75,8 +81,10 @@ void Sampler::worker_loop() {
         queue_.pop();
         mutex_.unlock();
 
+        const TimestampNs read_start = steady_ns();
         next.group->read_all(next.deadline, cache_);
-        samples_.fetch_add(1, std::memory_order_relaxed);
+        sample_latency_.record(steady_ns() - read_start);
+        samples_.add(1);
 
         mutex_.lock();
         // Reschedule at the next aligned boundary, skipping any deadlines

@@ -22,13 +22,17 @@
 #include "common/types.hpp"
 #include "core/sensor_cache.hpp"
 #include "pusher/sensor_group.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::pusher {
 
 class Sampler {
   public:
     /// `threads`: number of sampling threads (paper production: 2).
-    Sampler(int threads, CacheSet* cache);
+    /// `registry` receives pusher.samples and the per-sample latency
+    /// histogram; nullptr keeps a private registry.
+    Sampler(int threads, CacheSet* cache,
+            telemetry::MetricRegistry* registry = nullptr);
     ~Sampler();
 
     Sampler(const Sampler&) = delete;
@@ -45,7 +49,7 @@ class Sampler {
     void stop() DCDB_EXCLUDES(mutex_);
     bool running() const { return running_.load(std::memory_order_relaxed); }
 
-    std::uint64_t samples_taken() const { return samples_.load(); }
+    std::uint64_t samples_taken() const { return samples_.value(); }
 
   private:
     struct Scheduled {
@@ -60,6 +64,9 @@ class Sampler {
 
     int thread_count_;
     CacheSet* cache_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& samples_;
+    telemetry::Histogram& sample_latency_;
     Mutex mutex_;
     CondVar cv_;
     std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
@@ -71,7 +78,6 @@ class Sampler {
     // Written under mutex_ (so cv waits stay race-free) but read by the
     // lock-free running() probe — hence atomic.
     std::atomic<bool> running_{false};
-    std::atomic<std::uint64_t> samples_{0};
 };
 
 }  // namespace dcdb::pusher

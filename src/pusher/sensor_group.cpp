@@ -29,7 +29,7 @@ void SensorGroup::read_all(TimestampNs ts, CacheSet* cache) {
     for (std::size_t i = 0; i < sensors_.size(); ++i) {
         sensors_[i]->store_reading({ts, scratch_[i]}, cache, interval_ns_);
     }
-    reads_.fetch_add(1, std::memory_order_relaxed);
+    reads_.add(1);
 }
 
 }  // namespace dcdb::pusher

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "core/sensor_cache.hpp"
 #include "pusher/sensor_base.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dcdb::pusher {
 
@@ -56,7 +57,7 @@ class SensorGroup {
     void set_enabled(bool enabled) { enabled_.store(enabled); }
     bool enabled() const { return enabled_.load(); }
 
-    std::uint64_t reads_performed() const { return reads_.load(); }
+    std::uint64_t reads_performed() const { return reads_.value(); }
 
   protected:
     /// Plugin-specific acquisition: fill `out[i]` with the value for
@@ -71,7 +72,7 @@ class SensorGroup {
     std::vector<std::unique_ptr<SensorBase>> sensors_;
     std::vector<Value> scratch_;  // reused across reads, no hot-path alloc
     std::atomic<bool> enabled_{true};
-    std::atomic<std::uint64_t> reads_{0};
+    telemetry::Counter reads_;  // per-group, not registry-published
 };
 
 }  // namespace dcdb::pusher

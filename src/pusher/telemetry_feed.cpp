@@ -1,0 +1,109 @@
+#include "pusher/telemetry_feed.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace dcdb::pusher {
+
+namespace {
+
+std::unique_ptr<SensorBase> make_metric_sensor(const std::string& name,
+                                               const std::string& topic,
+                                               const std::string& unit) {
+    auto sensor = std::make_unique<SensorBase>(name, topic);
+    if (!unit.empty()) sensor->set_unit(unit);
+    return sensor;
+}
+
+bool looks_like_latency(const std::string& name) {
+    return name.find("latency") != std::string::npos;
+}
+
+}  // namespace
+
+TelemetryGroup::TelemetryGroup(const telemetry::MetricRegistry* registry,
+                               const std::string& topic_prefix,
+                               TimestampNs interval_ns, RefreshHook refresh)
+    : SensorGroup("telemetry", interval_ns), refresh_(std::move(refresh)) {
+    for (const auto& entry : registry->entries()) {
+        std::string base_topic;
+        try {
+            const std::size_t extra =
+                entry.kind == telemetry::MetricKind::kHistogram ? 1 : 0;
+            base_topic = telemetry::MetricRegistry::to_topic(
+                topic_prefix, entry.name, extra);
+        } catch (const Error& e) {
+            DCDB_WARN("telemetry") << "metric " << entry.name
+                                   << " not self-fed: " << e.what();
+            continue;
+        }
+        switch (entry.kind) {
+            case telemetry::MetricKind::kCounter:
+                add_sensor(make_metric_sensor(entry.name, base_topic, ""));
+                sources_.push_back({entry.counter, nullptr, nullptr,
+                                    Source::Stat::kValue});
+                break;
+            case telemetry::MetricKind::kGauge:
+                add_sensor(make_metric_sensor(entry.name, base_topic, ""));
+                sources_.push_back({nullptr, entry.gauge, nullptr,
+                                    Source::Stat::kValue});
+                break;
+            case telemetry::MetricKind::kHistogram: {
+                const std::string unit =
+                    looks_like_latency(entry.name) ? "ns" : "";
+                add_sensor(make_metric_sensor(entry.name + ".p50",
+                                              base_topic + "/p50", unit));
+                sources_.push_back({nullptr, nullptr, entry.histogram,
+                                    Source::Stat::kP50});
+                add_sensor(make_metric_sensor(entry.name + ".p99",
+                                              base_topic + "/p99", unit));
+                sources_.push_back({nullptr, nullptr, entry.histogram,
+                                    Source::Stat::kP99});
+                add_sensor(make_metric_sensor(entry.name + ".count",
+                                              base_topic + "/count", ""));
+                sources_.push_back({nullptr, nullptr, entry.histogram,
+                                    Source::Stat::kCount});
+                break;
+            }
+        }
+    }
+}
+
+bool TelemetryGroup::do_read(TimestampNs /*ts*/, std::vector<Value>& out) {
+    if (refresh_) refresh_();
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+        const Source& src = sources_[i];
+        if (src.counter) {
+            out[i] = static_cast<Value>(src.counter->value());
+        } else if (src.gauge) {
+            out[i] = static_cast<Value>(src.gauge->value());
+        } else {
+            const auto snap = src.histogram->snapshot();
+            switch (src.stat) {
+                case Source::Stat::kP50:
+                    out[i] = static_cast<Value>(snap.quantile(0.5));
+                    break;
+                case Source::Stat::kP99:
+                    out[i] = static_cast<Value>(snap.quantile(0.99));
+                    break;
+                default:
+                    out[i] = static_cast<Value>(snap.count());
+                    break;
+            }
+        }
+    }
+    return true;
+}
+
+TelemetryPlugin::TelemetryPlugin(const telemetry::MetricRegistry* registry,
+                                 const std::string& topic_prefix,
+                                 TimestampNs interval_ns,
+                                 TelemetryGroup::RefreshHook refresh) {
+    add_group(std::make_unique<TelemetryGroup>(
+        registry, topic_prefix, interval_ns, std::move(refresh)));
+}
+
+}  // namespace dcdb::pusher

@@ -305,6 +305,7 @@ void SnmpAgentSim::serve_loop() {
 std::optional<std::vector<std::int64_t>> snmp_get(
     std::uint16_t agent_port, const std::string& community,
     const std::vector<std::string>& oids, int timeout_ms) {
+    // dcdblint: allow-atomic(protocol request-id sequence, not a stat)
     static std::atomic<std::int64_t> request_seq{1};
 
     SnmpMessage req;

@@ -74,6 +74,7 @@ class SnmpAgentSim {
     std::map<Oid, std::function<std::int64_t()>> registry_;
     std::thread thread_;
     std::atomic<bool> stopping_{false};
+    // dcdblint: allow-atomic(simulated device internals, not DCDB stats)
     std::atomic<std::uint64_t> served_{0};
 };
 

@@ -4,18 +4,29 @@
 
 namespace dcdb::store {
 
-StoreCluster::StoreCluster(ClusterConfig config) : config_(std::move(config)) {
+StoreCluster::StoreCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      local_writes_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("store.cluster.writes.local")),
+      total_writes_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("store.cluster.writes.total")) {
     if (config_.nodes == 0) throw StoreError("cluster needs >= 1 node");
     if (config_.replication == 0 || config_.replication > config_.nodes)
         throw StoreError("replication must be in [1, nodes]");
     partitioner_ = make_partitioner(config_.partitioner);
     nodes_.reserve(config_.nodes);
+    telemetry::MetricRegistry& registry =
+        telemetry::resolve_registry(config_.registry, owned_registry_);
     for (std::size_t i = 0; i < config_.nodes; ++i) {
         NodeConfig nc;
         nc.data_dir = config_.base_dir + "/node" + std::to_string(i);
         nc.memtable_flush_bytes = config_.memtable_flush_bytes;
         nc.commitlog_enabled = config_.commitlog_enabled;
         nc.commitlog_sync_every = config_.commitlog_sync_every;
+        nc.registry = &registry;
+        nc.metric_prefix = "store.node" + std::to_string(i);
         nodes_.push_back(std::make_unique<StorageNode>(std::move(nc)));
     }
 }
@@ -30,9 +41,9 @@ void StoreCluster::insert(const Key& key, TimestampNs ts, Value value,
     for (std::size_t r = 0; r < config_.replication; ++r) {
         nodes_[(primary + r) % nodes_.size()]->insert(key, ts, value, ttl_s);
     }
-    total_writes_.fetch_add(1, std::memory_order_relaxed);
+    total_writes_.add(1);
     if (local_hint >= 0 && static_cast<std::size_t>(local_hint) == primary)
-        local_writes_.fetch_add(1, std::memory_order_relaxed);
+        local_writes_.add(1);
 }
 
 std::vector<Row> StoreCluster::query(const Key& key, TimestampNs t0,
@@ -66,8 +77,8 @@ ClusterStats StoreCluster::stats() const {
     ClusterStats s;
     s.per_node.reserve(nodes_.size());
     for (const auto& node : nodes_) s.per_node.push_back(node->stats());
-    s.local_writes = local_writes_.load();
-    s.total_writes = total_writes_.load();
+    s.local_writes = local_writes_.value();
+    s.total_writes = total_writes_.value();
     return s;
 }
 

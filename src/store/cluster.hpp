@@ -8,13 +8,13 @@
 // SimpleStrategy ring walk).
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "store/node.hpp"
 #include "store/partitioner.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::store {
 
@@ -27,6 +27,9 @@ struct ClusterConfig {
     bool commitlog_enabled{true};
     /// Per-node commit-log fdatasync cadence (see NodeConfig).
     std::size_t commitlog_sync_every{256};
+    /// Shared metric registry; each node registers its metrics under a
+    /// distinct store.node<i> prefix. nullptr keeps a private registry.
+    telemetry::MetricRegistry* registry{nullptr};
 };
 
 struct ClusterStats {
@@ -72,10 +75,11 @@ class StoreCluster {
 
   private:
     ClusterConfig config_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& local_writes_;
+    telemetry::Counter& total_writes_;
     std::unique_ptr<Partitioner> partitioner_;
     std::vector<std::unique_ptr<StorageNode>> nodes_;
-    std::atomic<std::uint64_t> local_writes_{0};
-    std::atomic<std::uint64_t> total_writes_{0};
 };
 
 }  // namespace dcdb::store

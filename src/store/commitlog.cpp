@@ -57,7 +57,7 @@ void CommitLog::append(const Key& key, const Row& row) {
     MutexLock lock(mutex_);
     if (std::fwrite(w.data().data(), 1, w.size(), file_) != w.size())
         throw StoreError("commit log append failed: " + path_);
-    records_.fetch_add(1, std::memory_order_relaxed);
+    records_.add(1);
 }
 
 void CommitLog::sync() {
@@ -68,7 +68,7 @@ void CommitLog::sync() {
     if (::fdatasync(::fileno(file_)) != 0)
         throw StoreError("commit log fdatasync failed: " + path_);
 #endif
-    syncs_.fetch_add(1, std::memory_order_relaxed);
+    syncs_.add(1);
 }
 
 void CommitLog::reset() {
@@ -76,7 +76,7 @@ void CommitLog::reset() {
     std::fclose(file_);
     file_ = std::fopen(path_.c_str(), "wb");
     if (!file_) throw StoreError("cannot truncate commit log " + path_);
-    records_.store(0, std::memory_order_relaxed);
+    records_.set(0);
 }
 
 CommitLog::ReplayResult CommitLog::replay(

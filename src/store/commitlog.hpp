@@ -7,7 +7,6 @@
 // garbage and be unreachable on the next replay.
 #pragma once
 
-#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -15,6 +14,7 @@
 #include "common/mutex.hpp"
 #include "store/key.hpp"
 #include "store/row.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dcdb::store {
 
@@ -38,12 +38,11 @@ class CommitLog {
     void reset() DCDB_EXCLUDES(mutex_);
 
     const std::string& path() const { return path_; }
+    /// Records in the current log (resets with the log on truncation).
     std::uint64_t records_appended() const {
-        return records_.load(std::memory_order_relaxed);
+        return static_cast<std::uint64_t>(records_.value());
     }
-    std::uint64_t syncs() const {
-        return syncs_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t syncs() const { return syncs_.value(); }
 
     struct ReplayResult {
         std::uint64_t records{0};      // intact records recovered
@@ -60,9 +59,10 @@ class CommitLog {
     std::string path_;
     std::FILE* file_ DCDB_PT_GUARDED_BY(mutex_){nullptr};
     dcdb::Mutex mutex_;
-    // Counters are read by stats paths without the mutex.
-    std::atomic<std::uint64_t> records_{0};
-    std::atomic<std::uint64_t> syncs_{0};
+    // Read by stats paths without the mutex. records_ is a gauge: it
+    // drops back to zero when reset() truncates the log.
+    telemetry::Gauge records_;
+    telemetry::Counter syncs_;
 };
 
 }  // namespace dcdb::store

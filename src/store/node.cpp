@@ -16,7 +16,32 @@ namespace dcdb::store {
 
 namespace fs = std::filesystem;
 
-StorageNode::StorageNode(NodeConfig config) : config_(std::move(config)) {
+StorageNode::StorageNode(NodeConfig config)
+    : config_(std::move(config)),
+      writes_(telemetry::resolve_registry(config_.registry, owned_registry_)
+                  .counter(config_.metric_prefix + ".writes")),
+      reads_(telemetry::resolve_registry(config_.registry, owned_registry_)
+                 .counter(config_.metric_prefix + ".reads")),
+      flushes_(telemetry::resolve_registry(config_.registry, owned_registry_)
+                   .counter(config_.metric_prefix + ".flushes")),
+      compactions_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter(config_.metric_prefix + ".compactions")),
+      bloom_checks_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter(config_.metric_prefix + ".bloom.checks")),
+      bloom_negatives_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter(config_.metric_prefix + ".bloom.negatives")),
+      flush_latency_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .histogram(config_.metric_prefix + ".flush.latency")),
+      compaction_latency_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .histogram(config_.metric_prefix + ".compaction.latency")),
+      commitlog_sync_latency_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .histogram(config_.metric_prefix + ".commitlog.sync.latency")) {
     if (config_.data_dir.empty()) throw StoreError("data_dir required");
     fs::create_directories(config_.data_dir);
 
@@ -107,19 +132,21 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
         commitlog_->append(key, row);
         if (config_.commitlog_sync_every != 0 &&
             ++appends_since_sync_ >= config_.commitlog_sync_every) {
+            const TimestampNs sync_start = steady_ns();
             commitlog_->sync();
+            commitlog_sync_latency_.record(steady_ns() - sync_start);
             appends_since_sync_ = 0;
         }
     }
     memtable_.insert(key, row);
-    writes_.fetch_add(1, std::memory_order_relaxed);
+    writes_.add(1);
     if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
         flush_locked();
 }
 
 std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
                                     TimestampNs t1) const {
-    reads_.fetch_add(1, std::memory_order_relaxed);
+    reads_.add(1);
     ReaderLock lock(mutex_);
 
     // Merge in generation order so later writes shadow earlier ones; the
@@ -127,6 +154,14 @@ std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
     std::map<TimestampNs, Row> merged;
     std::vector<Row> rows;
     for (const auto& table : sstables_) {
+        // Bloom effectiveness: every negative is one SSTable probe the
+        // filter saved (query() would re-check, but then we could not
+        // tell a bloom skip from an index miss).
+        bloom_checks_.add(1);
+        if (!table->may_contain(key)) {
+            bloom_negatives_.add(1);
+            continue;
+        }
         rows.clear();
         table->query(key, t0, t1, rows);
         for (const auto& row : rows) merged[row.ts] = row;
@@ -151,6 +186,7 @@ void StorageNode::flush() {
 
 void StorageNode::flush_locked() {
     if (memtable_.empty()) return;
+    const TimestampNs start = steady_ns();
     const std::uint64_t gen = next_generation_++;
     sstables_.push_back(
         SsTable::write(sstable_path(gen), gen, memtable_.partitions()));
@@ -159,13 +195,16 @@ void StorageNode::flush_locked() {
         commitlog_->reset();
         appends_since_sync_ = 0;
     }
-    ++flushes_;
+    flushes_.add(1);
+    ++local_flushes_;
+    flush_latency_.record(steady_ns() - start);
 }
 
 void StorageNode::compact() {
     WriterLock lock(mutex_);
     flush_locked();
-    if (sstables_.size() <= 1 && flushes_ == 0) return;
+    if (sstables_.size() <= 1 && local_flushes_ == 0) return;
+    const TimestampNs start = steady_ns();
 
     // Gather the union of keys, then merge newest-wins per timestamp.
     std::map<Key, std::vector<Row>> merged;
@@ -195,7 +234,8 @@ void StorageNode::compact() {
         sstables_.push_back(SsTable::write(sstable_path(gen), gen, merged));
     }
     for (const auto& path : old_paths) fs::remove(path);
-    ++compactions_;
+    compactions_.add(1);
+    compaction_latency_.record(steady_ns() - start);
 }
 
 void StorageNode::truncate_before(TimestampNs cutoff) {
@@ -231,14 +271,16 @@ void StorageNode::truncate_before(TimestampNs cutoff) {
 NodeStats StorageNode::stats() const {
     ReaderLock lock(mutex_);
     NodeStats s;
-    s.writes = writes_.load();
-    s.reads = reads_.load();
-    s.flushes = flushes_;
-    s.compactions = compactions_;
+    s.writes = writes_.value();
+    s.reads = reads_.value();
+    s.flushes = flushes_.value();
+    s.compactions = compactions_.value();
     s.sstables = sstables_.size();
     s.memtable_rows = memtable_.row_count();
     for (const auto& table : sstables_) s.disk_bytes += table->file_bytes();
     if (commitlog_) s.commitlog_syncs = commitlog_->syncs();
+    s.bloom_checks = bloom_checks_.value();
+    s.bloom_negatives = bloom_negatives_.value();
     return s;
 }
 

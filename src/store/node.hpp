@@ -11,6 +11,7 @@
 #include "store/commitlog.hpp"
 #include "store/memtable.hpp"
 #include "store/sstable.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb::store {
 
@@ -21,6 +22,13 @@ struct NodeConfig {
     /// fdatasync the commit log every N appends (0 = only on close).
     /// Bounds post-crash loss to at most N readings per node.
     std::size_t commitlog_sync_every{256};
+    /// Shared metric registry for the node's counters and latency
+    /// histograms; nullptr keeps a private one.
+    telemetry::MetricRegistry* registry{nullptr};
+    /// Dot-name prefix for this node's metrics. A cluster sharing one
+    /// registry gives each node a distinct prefix (store.node0, ...) so
+    /// per-node stats stay per-node.
+    std::string metric_prefix{"store"};
 };
 
 struct NodeStats {
@@ -32,6 +40,9 @@ struct NodeStats {
     std::size_t memtable_rows{0};
     std::uint64_t disk_bytes{0};
     std::uint64_t commitlog_syncs{0};
+    std::uint64_t bloom_checks{0};
+    /// SSTable probes skipped because the bloom filter proved absence.
+    std::uint64_t bloom_negatives{0};
 };
 
 class StorageNode {
@@ -70,6 +81,16 @@ class StorageNode {
     std::string sstable_path(std::uint64_t generation) const;
 
     NodeConfig config_;
+    std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
+    telemetry::Counter& writes_;
+    telemetry::Counter& reads_;
+    telemetry::Counter& flushes_;
+    telemetry::Counter& compactions_;
+    telemetry::Counter& bloom_checks_;
+    telemetry::Counter& bloom_negatives_;
+    telemetry::Histogram& flush_latency_;
+    telemetry::Histogram& compaction_latency_;
+    telemetry::Histogram& commitlog_sync_latency_;
     mutable SharedMutex mutex_;
     Memtable memtable_ DCDB_GUARDED_BY(mutex_);
     // The commit log has its own internal mutex; the pointer itself is
@@ -79,10 +100,9 @@ class StorageNode {
     // ascending generation
     std::vector<std::unique_ptr<SsTable>> sstables_ DCDB_GUARDED_BY(mutex_);
     std::uint64_t next_generation_ DCDB_GUARDED_BY(mutex_){1};
-    mutable std::atomic<std::uint64_t> writes_{0};
-    mutable std::atomic<std::uint64_t> reads_{0};
-    std::uint64_t flushes_ DCDB_GUARDED_BY(mutex_){0};
-    std::uint64_t compactions_ DCDB_GUARDED_BY(mutex_){0};
+    // Per-node flush count for compact()'s "anything new since the last
+    // merge?" decision; the registry counter may be shared cluster-wide.
+    std::uint64_t local_flushes_ DCDB_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace dcdb::store

@@ -1,0 +1,62 @@
+// Registry exporters and the matching text parser.
+//
+// Two wire formats, both served by the REST APIs:
+//
+//   * /metrics       — Prometheus text exposition (version 0.0.4): dots in
+//                      metric names become underscores under a "dcdb_"
+//                      namespace; histograms emit cumulative _bucket{le=}
+//                      series plus _sum/_count.
+//   * /metrics.json  — the same data as a JSON object, for scripting.
+//
+// parse_prometheus() is the inverse of to_prometheus() for the subset we
+// emit. It lives here (string-only, no sockets) so `dcdbconfig perf` and
+// the round-trip tests share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace dcdb::telemetry {
+
+/// Prometheus text exposition of every metric in the registry.
+std::string to_prometheus(const MetricRegistry& registry,
+                          const std::string& name_prefix = "dcdb");
+
+/// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+/// dot-names as keys; histograms carry count/sum/p50/p99.
+std::string to_json(const MetricRegistry& registry);
+
+/// One histogram reassembled from _bucket/_sum/_count lines.
+struct ParsedHistogram {
+    /// (le upper bound, cumulative count); le is +Inf for the last entry.
+    std::vector<std::pair<double, std::uint64_t>> cumulative;
+    std::uint64_t count{0};
+    double sum{0.0};
+
+    /// Approximate quantile from the cumulative buckets (same
+    /// interpolation contract as HistogramSnapshot::quantile).
+    double quantile(double q) const;
+};
+
+struct ParsedMetrics {
+    /// Counters and gauges, keyed by exposition name (e.g.
+    /// "dcdb_pusher_push_readings").
+    std::map<std::string, double> scalars;
+    std::map<std::string, ParsedHistogram> histograms;
+};
+
+/// Parse the subset of the Prometheus text format that to_prometheus()
+/// emits. Unknown lines are skipped, never fatal.
+ParsedMetrics parse_prometheus(const std::string& text);
+
+/// Human-readable report for `dcdbconfig perf`: top scalars by value,
+/// then every histogram with count/p50/p99.
+std::string render_perf_table(const ParsedMetrics& metrics,
+                              std::size_t top_scalars = 20);
+
+}  // namespace dcdb::telemetry

@@ -1,0 +1,64 @@
+#include "telemetry/metrics.hpp"
+
+namespace dcdb::telemetry {
+
+std::size_t thread_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return index;
+}
+
+std::uint64_t HistogramSnapshot::count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto b : buckets) n += b;
+    return n;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] += other.buckets[i];
+    }
+    sum += other.sum;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+
+    // Rank of the target observation, 1-based.
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t k = 0; k < buckets.size(); ++k) {
+        if (buckets[k] == 0) continue;
+        const std::uint64_t next = cumulative + buckets[k];
+        if (static_cast<double>(next) >= target) {
+            // Interpolate linearly between the bucket's bounds by the
+            // fraction of its population below the target rank.
+            const double lo =
+                k == 0 ? 0.0
+                       : static_cast<double>(histogram_bucket_bound(k - 1)) +
+                             1.0;
+            const double hi = static_cast<double>(histogram_bucket_bound(k));
+            const double frac =
+                (target - static_cast<double>(cumulative)) /
+                static_cast<double>(buckets[k]);
+            return lo + (hi - lo) * frac;
+        }
+        cumulative = next;
+    }
+    return static_cast<double>(histogram_bucket_bound(buckets.size() - 1));
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    s.sum = sum_.value();
+    return s;
+}
+
+}  // namespace dcdb::telemetry

@@ -1,0 +1,155 @@
+// Self-monitoring metric primitives.
+//
+// The paper's DCDB monitors itself: Pushers and Collect Agents expose
+// their own performance data (cache occupancy, message rates, per-plugin
+// read latency) as ordinary sensors — that introspection stream is how
+// Figures 4-10 were measured. These primitives are the foundation: they
+// must be cheap enough to sit on every hot path (one relaxed atomic add
+// per event, no locks) while still producing mergeable snapshots for the
+// export/self-feed side.
+//
+//   * Counter   — monotonic, sharded across cache lines so concurrent
+//                 writers (sampler pool, broker session threads) do not
+//                 bounce a single line.
+//   * Gauge     — a current value (queue depth, session count); single
+//                 atomic, set/add/sub.
+//   * Histogram — fixed-size log2 buckets (bucket = bit_width(value)),
+//                 so record() is branch-free index math plus one relaxed
+//                 increment. Quantiles are approximate by design: DCDB
+//                 readers accept order-of-magnitude latency answers, not
+//                 exact ranks (DESIGN.md §8, overhead contract).
+//
+// All mutation paths are lock-free; this is asserted at compile time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dcdb::telemetry {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kCounterShards = 8;  // power of two
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "telemetry hot path requires lock-free 64-bit atomics");
+static_assert((kCounterShards & (kCounterShards - 1)) == 0,
+              "shard selection relies on a power-of-two shard count");
+
+/// Stable, arbitrary index for the calling thread. Assigned on first use,
+/// cached thread-locally; used to pick a counter shard.
+std::size_t thread_index() noexcept;
+
+/// Monotonic counter. add() touches exactly one cache line, chosen by a
+/// hash of the calling thread, so N threads incrementing the same counter
+/// scale instead of serializing on one atomic.
+class Counter {
+  public:
+    Counter() = default;
+    Counter(const Counter&) = delete;
+    Counter& operator=(const Counter&) = delete;
+
+    void add(std::uint64_t n = 1) noexcept {
+        shards_[thread_index() & (kCounterShards - 1)].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /// Approximate-now, exact-eventually: a sum of relaxed loads, racing
+    /// with concurrent add()s (fine for monitoring reads, DESIGN.md §7).
+    std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto& s : shards_) {
+            sum += s.v.load(std::memory_order_relaxed);
+        }
+        return sum;
+    }
+
+  private:
+    struct alignas(kCacheLineBytes) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Shard, kCounterShards> shards_{};
+};
+
+/// Current-value metric (queue depths, open sessions, cache bytes).
+/// Signed so transient dips below zero in racy sub/add pairs are visible
+/// rather than wrapping.
+class Gauge {
+  public:
+    Gauge() = default;
+    Gauge(const Gauge&) = delete;
+    Gauge& operator=(const Gauge&) = delete;
+
+    void set(std::int64_t v) noexcept {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t n = 1) noexcept {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void sub(std::int64_t n = 1) noexcept {
+        v_.fetch_sub(n, std::memory_order_relaxed);
+    }
+    std::int64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// One bucket per power of two: bucket 0 holds the value 0, bucket k
+/// (k >= 1) holds values in [2^(k-1), 2^k). 64-bit values need 65 buckets.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+constexpr std::size_t histogram_bucket(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+}
+
+/// Inclusive upper bound of bucket k; kHistogramBuckets-1 has no finite
+/// bound (treated as +Inf by the exporters).
+constexpr std::uint64_t histogram_bucket_bound(std::size_t k) noexcept {
+    return k == 0 ? 0
+           : k >= 64
+               ? ~std::uint64_t{0}
+               : (std::uint64_t{1} << k) - 1;
+}
+
+/// Point-in-time copy of a histogram; mergeable (e.g. folding the same
+/// latency metric from many pushers) and queryable for quantiles.
+struct HistogramSnapshot {
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t sum{0};
+
+    std::uint64_t count() const noexcept;
+    void merge(const HistogramSnapshot& other) noexcept;
+
+    /// Approximate quantile (q in [0, 1]): linear interpolation inside
+    /// the log2 bucket holding the target rank. Returns 0 when empty.
+    double quantile(double q) const noexcept;
+};
+
+/// Fixed-size log2-bucket latency histogram. record() is one relaxed
+/// fetch_add on the bucket plus one sharded add for the running sum —
+/// no locks, no allocation, safe from any thread.
+class Histogram {
+  public:
+    Histogram() = default;
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    void record(std::uint64_t v) noexcept {
+        buckets_[histogram_bucket(v)].fetch_add(1,
+                                                std::memory_order_relaxed);
+        sum_.add(v);
+    }
+
+    HistogramSnapshot snapshot() const noexcept;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+    Counter sum_;
+};
+
+}  // namespace dcdb::telemetry

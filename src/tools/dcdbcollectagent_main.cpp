@@ -46,10 +46,17 @@ int main(int argc, char** argv) {
 
     try {
         const auto config = dcdb::parse_config_file(config_path);
-        dcdb::store::StoreCluster cluster(
-            {db_dir, nodes, 1, partitioner, 64u << 20, true});
+        // One registry for the whole daemon: the agent's collectagent.*
+        // and mqtt.broker.* metrics and every store.node<i>.* metric show
+        // up on the same /metrics page.
+        dcdb::telemetry::MetricRegistry registry;
+        dcdb::store::ClusterConfig cluster_config{
+            db_dir, nodes, 1, partitioner, 64u << 20, true};
+        cluster_config.registry = &registry;
+        dcdb::store::StoreCluster cluster(cluster_config);
         dcdb::store::MetaStore meta(db_dir + "/meta.log");
-        dcdb::collectagent::CollectAgent agent(config, &cluster, &meta);
+        dcdb::collectagent::CollectAgent agent(config, &cluster, &meta,
+                                               &registry);
 
         std::printf("dcdbcollectagent: MQTT on 127.0.0.1:%u",
                     agent.mqtt_port());

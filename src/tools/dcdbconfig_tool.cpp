@@ -2,6 +2,8 @@
 
 #include "common/string_utils.hpp"
 #include "core/hierarchy.hpp"
+#include "net/http.hpp"
+#include "telemetry/export.hpp"
 #include "tools/local_db.hpp"
 #include "tools/tools.hpp"
 
@@ -155,6 +157,52 @@ int hierarchy_command(LocalDatabase& db,
     return 0;
 }
 
+// `perf HOST:PORT` talks to a live Pusher or Collect Agent REST API, so
+// it needs no --db (the daemon holds the metrics, not the database).
+int perf_command(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+    if (args.empty()) {
+        err << "usage: dcdbconfig perf HOST:PORT [--top N]\n";
+        return 2;
+    }
+    const auto endpoint = split_nonempty(args[0], ':');
+    std::optional<std::uint64_t> port;
+    if (endpoint.size() == 2) port = parse_u64(endpoint[1]);
+    if (!port || *port == 0 || *port > 0xFFFF) {
+        err << "perf: endpoint must be HOST:PORT, got " << args[0] << "\n";
+        return 2;
+    }
+    std::size_t top = 20;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--top" && i + 1 < args.size()) {
+            const auto n = parse_u64(args[++i]);
+            if (!n || *n == 0) {
+                err << "perf: bad --top value\n";
+                return 2;
+            }
+            top = static_cast<std::size_t>(*n);
+        } else {
+            err << "perf: unknown argument " << args[i] << "\n";
+            return 2;
+        }
+    }
+    try {
+        const auto resp = http_get(endpoint[0],
+                                   static_cast<std::uint16_t>(*port),
+                                   "/metrics");
+        if (resp.status != 200) {
+            err << "perf: /metrics returned " << resp.status << "\n";
+            return 1;
+        }
+        const auto metrics = telemetry::parse_prometheus(resp.body);
+        out << telemetry::render_perf_table(metrics, top);
+        return 0;
+    } catch (const std::exception& e) {
+        err << "perf: " << e.what() << "\n";
+        return 1;
+    }
+}
+
 }  // namespace
 
 int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
@@ -165,8 +213,13 @@ int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
         if (args[i] == "--db" && i + 1 < args.size()) db_dir = args[++i];
         else rest.push_back(args[i]);
     }
+    if (!rest.empty() && rest[0] == "perf") {
+        rest.erase(rest.begin());
+        return perf_command(rest, out, err);
+    }
     if (db_dir.empty() || rest.empty()) {
-        err << "usage: dcdbconfig --db DIR sensor|vsensor|db|hierarchy ...\n";
+        err << "usage: dcdbconfig --db DIR sensor|vsensor|db|hierarchy ...\n"
+               "       dcdbconfig perf HOST:PORT [--top N]\n";
         return 2;
     }
     try {

@@ -27,6 +27,8 @@
 #include "pusher/sensor_group.hpp"
 #include "store/commitlog.hpp"
 #include "store/node.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dcdb {
 namespace {
@@ -318,6 +320,61 @@ TEST(SamplerRace, StartStopChurnWithRunningProbe) {
     prober.join();
     EXPECT_FALSE(sampler.running());
     EXPECT_GT(sampler.samples_taken(), 0u);
+}
+
+// -------------------------------------------------------------- telemetry
+
+// Writers hammer every metric kind while readers concurrently take
+// snapshots, walk entries() and run the Prometheus exporter, and other
+// threads race get-or-create on the same names. The telemetry hot path
+// is advertised as lock-free and safe from any thread (metrics.hpp);
+// under TSan this test is the proof.
+TEST(TelemetryRace, WritersVersusSnapshotsAndRegistration) {
+    constexpr int kWriters = 4;
+    constexpr int kOps = 20'000;
+
+    telemetry::MetricRegistry registry;
+    telemetry::Counter& counter = registry.counter("race.events");
+    telemetry::Gauge& gauge = registry.gauge("race.depth");
+    telemetry::Histogram& hist = registry.histogram("race.latency");
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < kOps; ++i) {
+                counter.add(1);
+                gauge.add(1);
+                hist.record(static_cast<std::uint64_t>(i) << (w & 3));
+                gauge.sub(1);
+                // Re-registration of a live name must be safe too.
+                registry.counter("race.events").add(1);
+                registry.counter("race.late." + std::to_string(w));
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!done.load()) {
+            (void)counter.value();
+            (void)hist.snapshot().quantile(0.99);
+            for (const auto& entry : registry.entries()) {
+                if (entry.counter) (void)entry.counter->value();
+                if (entry.gauge) (void)entry.gauge->value();
+                if (entry.histogram) (void)entry.histogram->snapshot();
+            }
+            (void)telemetry::to_prometheus(registry);
+        }
+    });
+    for (auto& t : writers) t.join();
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(2 * kWriters * kOps));
+    EXPECT_EQ(gauge.value(), 0);
+    EXPECT_EQ(hist.snapshot().count(),
+              static_cast<std::uint64_t>(kWriters * kOps));
+    EXPECT_EQ(registry.size(), 3u + kWriters);
 }
 
 }  // namespace

@@ -34,6 +34,12 @@
 //                      trailing '/', wildcards only as whole levels and
 //                      '#' only last (see core/sensor_id.hpp and
 //                      mqtt/topic.hpp).
+//   naked-atomic       no ad-hoc `std::atomic<integer>` stat counters
+//                      outside src/telemetry/ — statistics belong in the
+//                      metric registry (telemetry::Counter/Gauge), where
+//                      they are sharded, exported and self-fed.
+//                      std::atomic<bool> flags are fine; anything else
+//                      needs a `dcdblint: allow-atomic(<why>)` marker.
 //
 // Markers are written in comments on the offending line or the line
 // directly above, so every suppression carries its justification in situ.
@@ -75,23 +81,32 @@ struct Violation {
 // Sanctioned include matrix: which layers each layer may include. This is
 // the architecture, written down; dcdblint keeps it true.
 const std::map<std::string, std::set<std::string>>& layer_deps() {
+    // "telemetry" is the instrumentation substrate: anything above common
+    // may depend on it, and it depends only on common — so a metric can
+    // never pull a product layer into another product layer.
     static const std::map<std::string, std::set<std::string>> deps = {
         {"common", {"common"}},
-        {"net", {"net", "common"}},
-        {"mqtt", {"mqtt", "net", "common"}},
-        {"store", {"store", "common"}},
-        {"core", {"core", "common", "mqtt", "store"}},
-        {"sim", {"sim", "net", "common"}},
-        {"analysis", {"analysis", "common"}},
-        {"pusher", {"pusher", "core", "mqtt", "net", "common"}},
-        {"plugins", {"plugins", "pusher", "sim", "net", "common"}},
+        {"telemetry", {"telemetry", "common"}},
+        {"net", {"net", "telemetry", "common"}},
+        {"mqtt", {"mqtt", "net", "telemetry", "common"}},
+        {"store", {"store", "telemetry", "common"}},
+        {"core", {"core", "common", "mqtt", "store", "telemetry"}},
+        {"sim", {"sim", "net", "telemetry", "common"}},
+        {"analysis", {"analysis", "telemetry", "common"}},
+        {"pusher",
+         {"pusher", "core", "mqtt", "net", "telemetry", "common"}},
+        {"plugins",
+         {"plugins", "pusher", "sim", "net", "telemetry", "common"}},
         {"collectagent",
-         {"collectagent", "core", "mqtt", "net", "store", "common"}},
-        {"analytics", {"analytics", "collectagent", "mqtt", "common"}},
-        {"libdcdb", {"libdcdb", "core", "mqtt", "store", "common"}},
+         {"collectagent", "core", "mqtt", "net", "store", "telemetry",
+          "common"}},
+        {"analytics",
+         {"analytics", "collectagent", "mqtt", "telemetry", "common"}},
+        {"libdcdb",
+         {"libdcdb", "core", "mqtt", "store", "telemetry", "common"}},
         {"tools",
          {"tools", "collectagent", "pusher", "libdcdb", "core", "store",
-          "common"}},
+          "net", "telemetry", "common"}},
     };
     return deps;
 }
@@ -99,7 +114,8 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
 // Layers whose locking is covered by the thread-safety annotations.
 bool annotated_layer(const std::string& layer) {
     static const std::set<std::string> layers = {
-        "common", "core", "mqtt", "pusher", "collectagent", "store"};
+        "common", "core",         "mqtt",  "pusher",
+        "collectagent", "store", "telemetry"};
     return layers.count(layer) > 0;
 }
 
@@ -366,6 +382,34 @@ void check_sleep(const std::string& rel, const std::vector<Line>& lines,
     }
 }
 
+// Stat counters must live in the telemetry registry; a naked
+// std::atomic<integer> member is an unexported, unsharded shadow stat.
+// Flags (std::atomic<bool>) are control state, not statistics, and pass.
+void check_naked_atomic(const std::string& rel,
+                        const std::vector<Line>& lines,
+                        std::vector<Violation>& out) {
+    if (rel.rfind("src/telemetry/", 0) == 0) return;  // the substrate
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const auto pos = code.find("std::atomic<");
+        if (pos == std::string::npos) continue;
+        const auto open = pos + std::string("std::atomic<").size();
+        const auto close = code.find('>', open);
+        if (close == std::string::npos) continue;
+        const std::string arg = code.substr(open, close - open);
+        if (arg.find("bool") != std::string::npos) continue;
+        // Trait queries (std::atomic<T>::is_always_lock_free) are not
+        // declarations.
+        if (code.compare(close + 1, 2, "::") == 0) continue;
+        if (has_marker(lines, i, "dcdblint: allow-atomic")) continue;
+        out.push_back(
+            {rel, i + 1, "naked-atomic",
+             "std::atomic<" + arg + "> stat counter — use "
+             "telemetry::Counter/Gauge from the metric registry, or "
+             "justify with `dcdblint: allow-atomic(<why>)`"});
+    }
+}
+
 void check_includes(const std::string& rel, const std::vector<Line>& lines,
                     std::vector<Violation>& out) {
     const std::string layer = layer_of(rel);
@@ -462,6 +506,7 @@ std::vector<Violation> lint_file(const std::string& rel,
     check_raw_sync(rel, lines, out);
     check_unguarded_mutex(rel, lines, out);
     check_sleep(rel, lines, out);
+    check_naked_atomic(rel, lines, out);
     check_includes(rel, lines, out);
     check_topic_literals(rel, lines, out);
     return out;
@@ -511,6 +556,25 @@ const Case kCases[] = {
      "// dcdblint: allow-sleep(injected fault delay)\n"
      "std::this_thread::sleep_for(delay);\n",
      nullptr},
+    {"naked atomic counter fires", "src/store/bad3.hpp",
+     "std::atomic<std::uint64_t> writes_{0};\n", "naked-atomic"},
+    {"atomic bool flag clean", "src/store/good6.hpp",
+     "std::atomic<bool> stopping_{false};\n", nullptr},
+    {"allow-atomic marker accepted", "src/common/good.hpp",
+     "// dcdblint: allow-atomic(log level switch, not a stat)\n"
+     "std::atomic<int> level_{0};\n",
+     nullptr},
+    {"telemetry layer may use raw atomics", "src/telemetry/good.hpp",
+     "std::atomic<std::uint64_t> v{0};\n", nullptr},
+    {"atomic trait query clean", "src/net/good.hpp",
+     "static_assert(std::atomic<std::uint64_t>::is_always_lock_free);\n",
+     nullptr},
+    {"telemetry including common clean", "src/telemetry/good2.hpp",
+     "#include \"common/mutex.hpp\"\n", nullptr},
+    {"telemetry including store fires", "src/telemetry/bad.hpp",
+     "#include \"store/node.hpp\"\n", "cross-layer"},
+    {"store including telemetry clean", "src/store/good7.hpp",
+     "#include \"telemetry/metrics.hpp\"\n", nullptr},
     {"sim including store fires", "src/sim/bad.hpp",
      "#include \"store/node.hpp\"\n", "cross-layer"},
     {"store including mqtt fires", "src/store/bad2.hpp",
