@@ -44,11 +44,25 @@ CollectAgent::CollectAgent(const ConfigNode& config,
 
     if (config.get_bool_or("global.restApi", false))
         rest_server_ = make_agent_rest_server(*this);
+
+    // Background store maintenance: the agent is the long-lived process
+    // owning the cluster, so it drives the size-tiered compaction thread.
+    const TimestampNs maintenance_ns =
+        config.get_duration_ns_or("global.storeMaintenance", 0);
+    if (maintenance_ns > 0) {
+        cluster_->start_maintenance(std::chrono::milliseconds(
+            std::max<TimestampNs>(maintenance_ns / kNsPerMs, 1)));
+        owns_maintenance_ = true;
+    }
 }
 
 CollectAgent::~CollectAgent() { stop(); }
 
 void CollectAgent::stop() {
+    if (owns_maintenance_) {
+        cluster_->stop_maintenance();
+        owns_maintenance_ = false;
+    }
     if (broker_) broker_->stop();
     if (rest_server_) rest_server_->stop();
 }

@@ -17,6 +17,7 @@
 //       storeNodeHint -1    ; colocated store node (locality accounting)
 //       storeRetryMax 4     ; insert attempts before dead-lettering
 //       storeRetryBackoff 1ms ; base retry delay (doubles per attempt)
+//       storeMaintenance 0  ; background compaction interval (0 = off)
 //   }
 #pragma once
 
@@ -122,6 +123,9 @@ class CollectAgent {
     int store_node_hint_;
     std::uint32_t store_retry_max_;
     TimestampNs store_retry_backoff_ns_;
+    /// True when this agent owns the cluster's maintenance thread
+    /// (global.storeMaintenance > 0) and must stop it on shutdown.
+    bool owns_maintenance_{false};
 
     LiveListener live_listener_;
     std::unique_ptr<mqtt::MqttBroker> broker_;

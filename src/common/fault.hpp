@@ -27,6 +27,12 @@ enum class FaultPoint : std::size_t {
     kMqttRecv,         // Transport::recv
     kStoreInsert,      // StorageNode::insert
     kCommitLogAppend,  // CommitLog::append
+    kStoreFlush,       // StorageNode flush: after the SSTable is durably
+                       // written, before the commit log resets (the
+                       // crash-durability window of DESIGN.md §9)
+    kStoreCompact,     // StorageNode maintenance: during the unlocked
+                       // streaming merge (kDelay widens the window for
+                       // insert-during-compaction tests)
     kCount
 };
 

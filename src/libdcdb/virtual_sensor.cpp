@@ -8,6 +8,36 @@
 
 namespace dcdb::lib {
 
+namespace {
+
+/// Marks a topic as being evaluated for the guard's lifetime. Unwinding
+/// must always remove the mark: if parse_expression or a nested operand
+/// query throws while the topic stays in `in_progress_`, every later
+/// evaluation of it on the same evaluator would be misreported as a
+/// cyclic definition.
+class InProgressGuard {
+  public:
+    InProgressGuard(std::set<std::string>& set, const std::string& topic)
+        : set_(set) {
+        auto [it, inserted] = set_.insert(topic);
+        it_ = it;
+        inserted_ = inserted;
+    }
+    ~InProgressGuard() {
+        if (inserted_) set_.erase(it_);
+    }
+
+    InProgressGuard(const InProgressGuard&) = delete;
+    InProgressGuard& operator=(const InProgressGuard&) = delete;
+
+  private:
+    std::set<std::string>& set_;
+    std::set<std::string>::iterator it_;
+    bool inserted_;
+};
+
+}  // namespace
+
 std::vector<Sample> VirtualEvaluator::operand_series(const std::string& topic,
                                                      TimestampNs t0,
                                                      TimestampNs t1) {
@@ -61,25 +91,25 @@ std::vector<Sample> VirtualEvaluator::evaluate(const std::string& topic,
         }
     }
 
-    in_progress_.insert(topic);
-    const ExprPtr expr = parse_expression(md->expression);
-    const auto operands = expression_operands(*expr);
-    if (operands.empty())
-        throw QueryError("virtual sensor without operands: " + topic);
-
     std::unordered_map<std::string, std::vector<Sample>> series;
+    ExprPtr expr;
     const std::vector<Sample>* grid_source = nullptr;
-    for (const auto& operand : operands) {
-        auto s = operand_series(operand, t0, t1);
-        if (s.empty()) {
-            in_progress_.erase(topic);
-            return {};  // an operand has no data in this window
+    {
+        const InProgressGuard guard(in_progress_, topic);
+        expr = parse_expression(md->expression);
+        const auto operands = expression_operands(*expr);
+        if (operands.empty())
+            throw QueryError("virtual sensor without operands: " + topic);
+
+        for (const auto& operand : operands) {
+            auto s = operand_series(operand, t0, t1);
+            if (s.empty())
+                return {};  // an operand has no data in this window
+            auto [it, ok] = series.emplace(operand, std::move(s));
+            if (!grid_source || it->second.size() > grid_source->size())
+                grid_source = &it->second;
         }
-        auto [it, ok] = series.emplace(operand, std::move(s));
-        if (!grid_source || it->second.size() > grid_source->size())
-            grid_source = &it->second;
     }
-    in_progress_.erase(topic);
 
     // Evaluate on the densest operand's grid; interpolate the rest.
     std::vector<Sample> result;

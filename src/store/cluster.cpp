@@ -25,11 +25,15 @@ StoreCluster::StoreCluster(ClusterConfig config)
         nc.memtable_flush_bytes = config_.memtable_flush_bytes;
         nc.commitlog_enabled = config_.commitlog_enabled;
         nc.commitlog_sync_every = config_.commitlog_sync_every;
+        nc.compaction_min_tables = config_.compaction_min_tables;
+        nc.compaction_size_ratio = config_.compaction_size_ratio;
         nc.registry = &registry;
         nc.metric_prefix = "store.node" + std::to_string(i);
         nodes_.push_back(std::make_unique<StorageNode>(std::move(nc)));
     }
 }
+
+StoreCluster::~StoreCluster() { stop_maintenance(); }
 
 std::size_t StoreCluster::primary_node(const Key& key) const {
     return partitioner_->node_for(key, nodes_.size());
@@ -71,6 +75,53 @@ void StoreCluster::compact_all() {
 
 void StoreCluster::truncate_before(TimestampNs cutoff) {
     for (auto& node : nodes_) node->truncate_before(cutoff);
+}
+
+void StoreCluster::start_maintenance(std::chrono::milliseconds interval) {
+    {
+        MutexLock lock(maintenance_mutex_);
+        if (maintenance_running_) return;
+        maintenance_stop_ = false;
+        maintenance_running_ = true;
+    }
+    maintenance_thread_ =
+        std::thread([this, interval] { maintenance_loop(interval); });
+}
+
+void StoreCluster::stop_maintenance() {
+    {
+        MutexLock lock(maintenance_mutex_);
+        if (!maintenance_running_) return;
+        maintenance_stop_ = true;
+    }
+    maintenance_cv_.notify_all();
+    maintenance_thread_.join();
+    MutexLock lock(maintenance_mutex_);
+    maintenance_running_ = false;
+}
+
+bool StoreCluster::maintenance_running() const {
+    MutexLock lock(maintenance_mutex_);
+    return maintenance_running_;
+}
+
+std::uint64_t StoreCluster::maintenance_rounds() const {
+    MutexLock lock(maintenance_mutex_);
+    return maintenance_rounds_;
+}
+
+void StoreCluster::maintenance_loop(std::chrono::milliseconds interval) {
+    for (;;) {
+        {
+            MutexLock lock(maintenance_mutex_);
+            if (!maintenance_stop_)
+                maintenance_cv_.wait_for(maintenance_mutex_, interval);
+            if (maintenance_stop_) return;
+        }
+        for (auto& node : nodes_) node->maintain();
+        MutexLock lock(maintenance_mutex_);
+        ++maintenance_rounds_;
+    }
 }
 
 ClusterStats StoreCluster::stats() const {

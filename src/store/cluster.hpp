@@ -8,8 +8,10 @@
 // SimpleStrategy ring walk).
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "store/node.hpp"
@@ -27,6 +29,10 @@ struct ClusterConfig {
     bool commitlog_enabled{true};
     /// Per-node commit-log fdatasync cadence (see NodeConfig).
     std::size_t commitlog_sync_every{256};
+    /// Size-tiered maintenance knobs passed through to every node (see
+    /// NodeConfig::compaction_min_tables / compaction_size_ratio).
+    std::size_t compaction_min_tables{4};
+    double compaction_size_ratio{2.0};
     /// Shared metric registry; each node registers its metrics under a
     /// distinct store.node<i> prefix. nullptr keeps a private registry.
     telemetry::MetricRegistry* registry{nullptr};
@@ -44,6 +50,8 @@ struct ClusterStats {
 class StoreCluster {
   public:
     explicit StoreCluster(ClusterConfig config);
+    /// Stops the maintenance thread if still running.
+    ~StoreCluster();
 
     std::size_t node_count() const { return nodes_.size(); }
     std::size_t replication() const { return config_.replication; }
@@ -70,16 +78,39 @@ class StoreCluster {
     void compact_all();
     void truncate_before(TimestampNs cutoff);
 
+    /// Start the background maintenance thread: every `interval` it runs
+    /// one size-tiered maintenance round (StorageNode::maintain) on each
+    /// node. Maintenance is non-blocking, so inserts and queries proceed
+    /// while tiers merge. No-op when already running.
+    void start_maintenance(std::chrono::milliseconds interval);
+    /// Stop and join the maintenance thread; safe to call when not
+    /// running. The in-flight round, if any, completes first.
+    void stop_maintenance();
+    bool maintenance_running() const;
+    /// Completed maintenance rounds (each round visits every node).
+    std::uint64_t maintenance_rounds() const;
+
     StorageNode& node(std::size_t i) { return *nodes_.at(i); }
     ClusterStats stats() const;
 
   private:
+    void maintenance_loop(std::chrono::milliseconds interval);
+
     ClusterConfig config_;
     std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
     telemetry::Counter& local_writes_;
     telemetry::Counter& total_writes_;
     std::unique_ptr<Partitioner> partitioner_;
     std::vector<std::unique_ptr<StorageNode>> nodes_;
+
+    // Maintenance thread lifecycle. The thread sleeps on the condvar so
+    // stop_maintenance() interrupts a pending interval immediately.
+    mutable Mutex maintenance_mutex_;
+    CondVar maintenance_cv_;
+    bool maintenance_stop_ DCDB_GUARDED_BY(maintenance_mutex_){false};
+    bool maintenance_running_ DCDB_GUARDED_BY(maintenance_mutex_){false};
+    std::uint64_t maintenance_rounds_ DCDB_GUARDED_BY(maintenance_mutex_){0};
+    std::thread maintenance_thread_;
 };
 
 }  // namespace dcdb::store

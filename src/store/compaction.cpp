@@ -1,0 +1,181 @@
+#include "store/compaction.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dcdb::store {
+
+namespace {
+
+/// Rows buffered per cursor: bounds merge memory at
+/// O(tables * kRowChunk * sizeof(Row)) regardless of table size.
+constexpr std::size_t kRowChunk = 4096;
+
+/// Streaming read position in one input table: walks partitions in key
+/// order and rows in timestamp order, fetching rows from disk in bounded
+/// chunks.
+class TableCursor {
+  public:
+    explicit TableCursor(const SsTable* table) : table_(table) {}
+
+    bool at_table_end() const {
+        return partition_ >= table_->partition_count();
+    }
+    const Key& key() const { return table_->partition_key(partition_); }
+
+    bool partition_exhausted() const {
+        return consumed_ >= table_->partition_row_count(partition_);
+    }
+
+    const Row& peek() {
+        if (chunk_pos_ == chunk_.size()) {
+            const std::uint64_t total = table_->partition_row_count(partition_);
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(kRowChunk, total - loaded_));
+            chunk_.clear();
+            chunk_pos_ = 0;
+            table_->read_partition_rows(partition_,
+                                        static_cast<std::size_t>(loaded_), n,
+                                        chunk_);
+            loaded_ += n;
+        }
+        return chunk_[chunk_pos_];
+    }
+
+    void advance() {
+        ++consumed_;
+        ++chunk_pos_;
+    }
+
+    void next_partition() {
+        ++partition_;
+        consumed_ = 0;
+        loaded_ = 0;
+        chunk_.clear();
+        chunk_pos_ = 0;
+    }
+
+  private:
+    const SsTable* table_;
+    std::size_t partition_{0};
+    std::uint64_t consumed_{0};  // rows handed out via advance()
+    std::uint64_t loaded_{0};    // rows fetched from disk into chunks
+    std::vector<Row> chunk_;
+    std::size_t chunk_pos_{0};
+};
+
+}  // namespace
+
+MergeResult merge_tables(const std::vector<const SsTable*>& tables,
+                         const std::string& path, std::uint64_t generation,
+                         const MergeOptions& options) {
+    MergeStats stats;
+    stats.tables_in = tables.size();
+    std::size_t expected_partitions = 0;
+    for (const auto* table : tables) {
+        stats.bytes_in += table->file_bytes();
+        expected_partitions += table->partition_count();
+    }
+
+    SsTableWriter writer(path, generation, expected_partitions);
+    std::vector<TableCursor> cursors;
+    cursors.reserve(tables.size());
+    for (const auto* table : tables) cursors.emplace_back(table);
+
+    std::vector<TableCursor*> parts;  // cursors sharing the current key
+    parts.reserve(tables.size());
+    for (;;) {
+        // Smallest key any cursor is parked on.
+        const Key* min_key = nullptr;
+        for (auto& cursor : cursors) {
+            if (cursor.at_table_end()) continue;
+            if (!min_key || cursor.key() < *min_key) min_key = &cursor.key();
+        }
+        if (!min_key) break;
+
+        // Preserve input order (oldest to newest) so ties resolve to the
+        // newest table below.
+        parts.clear();
+        for (auto& cursor : cursors) {
+            if (!cursor.at_table_end() && cursor.key() == *min_key)
+                parts.push_back(&cursor);
+        }
+
+        writer.begin_partition(*min_key);
+        for (;;) {
+            bool any = false;
+            TimestampNs min_ts = 0;
+            for (auto* cursor : parts) {
+                if (cursor->partition_exhausted()) continue;
+                const TimestampNs ts = cursor->peek().ts;
+                if (!any || ts < min_ts) {
+                    min_ts = ts;
+                    any = true;
+                }
+            }
+            if (!any) break;
+
+            // Consume min_ts from every stream carrying it; the last
+            // (newest) participant's row survives the shadowing.
+            Row winner{};
+            for (auto* cursor : parts) {
+                if (cursor->partition_exhausted()) continue;
+                if (cursor->peek().ts == min_ts) {
+                    winner = cursor->peek();
+                    cursor->advance();
+                    ++stats.rows_in;
+                }
+            }
+            if (options.cutoff != 0 && winner.ts < options.cutoff) continue;
+            if (options.now != 0 && winner.expired(options.now)) continue;
+            writer.add_row(winner);
+            ++stats.rows_out;
+        }
+        writer.end_partition();
+        for (auto* cursor : parts) cursor->next_partition();
+    }
+
+    auto table = writer.finish();
+    if (table->row_count() == 0) {
+        const std::string out_path = table->path();
+        table.reset();  // close the descriptor before unlinking
+        std::remove(out_path.c_str());
+        return {nullptr, stats};
+    }
+    stats.bytes_out = table->file_bytes();
+    return {std::move(table), stats};
+}
+
+TierRange select_size_tier(const std::vector<std::uint64_t>& file_bytes,
+                           std::size_t min_tables, double ratio) {
+    TierRange best;
+    std::uint64_t best_bytes = 0;
+    const std::size_t n = file_bytes.size();
+    for (std::size_t b = 0; b < n; ++b) {
+        std::uint64_t lo = file_bytes[b];
+        std::uint64_t hi = file_bytes[b];
+        std::uint64_t bytes = file_bytes[b];
+        for (std::size_t e = b + 1; e <= n; ++e) {
+            // Window [b, e) satisfies the ratio bound here.
+            if (e - b >= min_tables &&
+                (best.empty() || e - b > best.size() ||
+                 (e - b == best.size() && bytes < best_bytes))) {
+                best = {b, e};
+                best_bytes = bytes;
+            }
+            if (e == n) break;
+            const std::uint64_t next_lo = std::min(lo, file_bytes[e]);
+            const std::uint64_t next_hi = std::max(hi, file_bytes[e]);
+            if (static_cast<double>(next_hi) >
+                ratio * static_cast<double>(std::max<std::uint64_t>(
+                            next_lo, 1)))
+                break;
+            lo = next_lo;
+            hi = next_hi;
+            bytes += file_bytes[e];
+        }
+    }
+    return best;
+}
+
+}  // namespace dcdb::store

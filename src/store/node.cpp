@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <map>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -11,6 +10,7 @@
 #include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
+#include "store/compaction.hpp"
 
 namespace dcdb::store {
 
@@ -33,22 +33,38 @@ StorageNode::StorageNode(NodeConfig config)
       bloom_negatives_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .counter(config_.metric_prefix + ".bloom.negatives")),
+      compaction_tables_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter(config_.metric_prefix + ".compaction.tables")),
+      compaction_bytes_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter(config_.metric_prefix + ".compaction.bytes")),
       flush_latency_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .histogram(config_.metric_prefix + ".flush.latency")),
       compaction_latency_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .histogram(config_.metric_prefix + ".compaction.latency")),
+      compaction_stall_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .histogram(config_.metric_prefix + ".compaction.stall")),
       commitlog_sync_latency_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .histogram(config_.metric_prefix + ".commitlog.sync.latency")) {
     if (config_.data_dir.empty()) throw StoreError("data_dir required");
     fs::create_directories(config_.data_dir);
 
-    // Open existing SSTables in generation order.
+    // Open existing SSTables in generation order; sweep temporaries a
+    // crashed flush or compaction left behind (their contents are either
+    // incomplete or still fully covered by the inputs + commit log).
     std::vector<std::pair<std::uint64_t, std::string>> found;
     for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
         const std::string name = entry.path().filename().string();
+        if (starts_with(name, "sstable-") && ends_with(name, ".tmp")) {
+            std::error_code ec;
+            fs::remove(entry.path(), ec);
+            continue;
+        }
         if (starts_with(name, "sstable-") && ends_with(name, ".db")) {
             const auto gen = parse_u64(name.substr(8, name.size() - 11));
             if (gen) found.emplace_back(*gen, entry.path().string());
@@ -149,32 +165,66 @@ std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
     reads_.add(1);
     ReaderLock lock(mutex_);
 
-    // Merge in generation order so later writes shadow earlier ones; the
-    // memtable is newest of all.
-    std::map<TimestampNs, Row> merged;
-    std::vector<Row> rows;
-    for (const auto& table : sstables_) {
+    // Gather per-source sorted runs, newest source first: the memtable,
+    // then SSTables newest-to-oldest. Each run is already sorted by
+    // timestamp, so the merged result falls out of one k-way pass with
+    // first-source-wins shadowing — no per-row map inserts.
+    std::vector<std::vector<Row>> sources;
+    sources.reserve(sstables_.size() + 1);
+    {
+        std::vector<Row> rows;
+        memtable_.query(key, t0, t1, rows);
+        if (!rows.empty()) sources.push_back(std::move(rows));
+    }
+    for (auto it = sstables_.rbegin(); it != sstables_.rend(); ++it) {
         // Bloom effectiveness: every negative is one SSTable probe the
-        // filter saved (query() would re-check, but then we could not
-        // tell a bloom skip from an index miss).
+        // filter saved. The node probes once per table; SsTable::query
+        // deliberately does not re-check (the second probe would skew
+        // these counters and cost a redundant hash).
         bloom_checks_.add(1);
-        if (!table->may_contain(key)) {
+        if (!(*it)->may_contain(key)) {
             bloom_negatives_.add(1);
             continue;
         }
-        rows.clear();
-        table->query(key, t0, t1, rows);
-        for (const auto& row : rows) merged[row.ts] = row;
+        std::vector<Row> rows;
+        (*it)->query(key, t0, t1, rows);
+        if (!rows.empty()) sources.push_back(std::move(rows));
     }
-    rows.clear();
-    memtable_.query(key, t0, t1, rows);
-    for (const auto& row : rows) merged[row.ts] = row;
 
     const TimestampNs now = now_ns();
     std::vector<Row> out;
-    out.reserve(merged.size());
-    for (const auto& [ts, row] : merged) {
+    if (sources.empty()) return out;
+    if (sources.size() == 1) {  // common case: no cross-source shadowing
+        out.reserve(sources.front().size());
+        for (const auto& row : sources.front())
+            if (!row.expired(now)) out.push_back(row);
+        return out;
+    }
+
+    std::size_t total = 0;
+    for (const auto& source : sources) total += source.size();
+    out.reserve(total);
+    std::vector<std::size_t> pos(sources.size(), 0);
+    for (;;) {
+        bool any = false;
+        TimestampNs min_ts = 0;
+        std::size_t winner = 0;
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            if (pos[i] >= sources[i].size()) continue;
+            const TimestampNs ts = sources[i][pos[i]].ts;
+            if (!any || ts < min_ts) {  // strict: first (newest) source
+                min_ts = ts;            // keeps the win on equal ts
+                winner = i;
+                any = true;
+            }
+        }
+        if (!any) break;
+        const Row& row = sources[winner][pos[winner]];
         if (!row.expired(now)) out.push_back(row);
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            if (pos[i] < sources[i].size() && sources[i][pos[i]].ts == min_ts)
+                ++pos[i];  // consume shadowed duplicates everywhere
+        }
     }
     return out;
 }
@@ -188,8 +238,29 @@ void StorageNode::flush_locked() {
     if (memtable_.empty()) return;
     const TimestampNs start = steady_ns();
     const std::uint64_t gen = next_generation_++;
+    // SsTable::write publishes durably (fsync -> rename -> dir fsync)
+    // before returning: once it does, the rows survive a crash with or
+    // without the commit log, so resetting the log below is safe.
     sstables_.push_back(
         SsTable::write(sstable_path(gen), gen, memtable_.partitions()));
+
+    // Fault hook sitting exactly in the crash-durability window: the new
+    // SSTable is on disk, the commit log still holds the same rows.
+    auto& injector = FaultInjector::instance();
+    switch (injector.roll(FaultPoint::kStoreFlush)) {
+        case FaultAction::kNone:
+            break;
+        case FaultAction::kError:
+            throw StoreError("injected store flush fault");
+        case FaultAction::kDrop:
+            return;  // flush "crashed" before the commit-log reset
+        case FaultAction::kDelay:
+            // dcdblint: allow-sleep (fault injection simulates a slow disk)
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                injector.delay_ns(FaultPoint::kStoreFlush)));
+            break;
+    }
+
     memtable_.clear();
     if (commitlog_) {
         commitlog_->reset();
@@ -200,72 +271,130 @@ void StorageNode::flush_locked() {
     flush_latency_.record(steady_ns() - start);
 }
 
-void StorageNode::compact() {
-    WriterLock lock(mutex_);
-    flush_locked();
-    if (sstables_.size() <= 1 && local_flushes_ == 0) return;
-    const TimestampNs start = steady_ns();
+bool StorageNode::run_maintenance(bool merge_all, TimestampNs cutoff) {
+    // One maintenance operation at a time: the unlocked merge phase
+    // relies on being the only remover of SSTables (inserts may append
+    // new ones concurrently, which the swap preserves).
+    MutexLock maintenance(maintenance_mutex_);
+    const TimestampNs op_start = steady_ns();
 
-    // Gather the union of keys, then merge newest-wins per timestamp.
-    std::map<Key, std::vector<Row>> merged;
-    const TimestampNs now = now_ns();
-    for (const auto& table : sstables_) {  // ascending generation
-        for (const auto& key : table->keys()) {
-            auto& dst = merged[key];
-            std::map<TimestampNs, Row> by_ts;
-            for (auto& row : dst) by_ts[row.ts] = row;
-            for (const auto& row : table->read_partition(key))
-                by_ts[row.ts] = row;  // later generation shadows
-            dst.clear();
-            for (const auto& [ts, row] : by_ts) {
-                if (!row.expired(now)) dst.push_back(row);
+    // Phase 1 — brief writer lock: flush pending rows so they join the
+    // merge, pick the input run, inherit the output generation.
+    std::vector<const SsTable*> inputs;
+    std::uint64_t out_generation = 0;
+    {
+        const TimestampNs stall_start = steady_ns();
+        WriterLock lock(mutex_);
+        flush_locked();
+        if (merge_all) {
+            if (sstables_.empty() ||
+                (sstables_.size() <= 1 && cutoff == 0 &&
+                 local_flushes_ == 0)) {
+                compaction_stall_.record(steady_ns() - stall_start);
+                return false;
             }
+            for (const auto& table : sstables_)
+                inputs.push_back(table.get());
+        } else {
+            std::vector<std::uint64_t> sizes;
+            sizes.reserve(sstables_.size());
+            for (const auto& table : sstables_)
+                sizes.push_back(table->file_bytes());
+            const TierRange tier = select_size_tier(
+                sizes, std::max<std::size_t>(config_.compaction_min_tables, 2),
+                config_.compaction_size_ratio);
+            if (tier.size() < 2) {
+                compaction_stall_.record(steady_ns() - stall_start);
+                return false;
+            }
+            for (std::size_t i = tier.begin; i < tier.end; ++i)
+                inputs.push_back(sstables_[i].get());
         }
+        // The merged table inherits its newest input's generation, so
+        // the on-disk ordering matches the shadowing order after reopen.
+        out_generation = inputs.back()->generation();
+        compaction_stall_.record(steady_ns() - stall_start);
     }
-    std::erase_if(merged, [](const auto& kv) { return kv.second.empty(); });
 
-    std::vector<std::string> old_paths;
-    old_paths.reserve(sstables_.size());
-    for (const auto& table : sstables_) old_paths.push_back(table->path());
-    sstables_.clear();
-
-    if (!merged.empty()) {
-        const std::uint64_t gen = next_generation_++;
-        sstables_.push_back(SsTable::write(sstable_path(gen), gen, merged));
+    // Phase 2 — no locks held: the streaming merge. Inserts and queries
+    // proceed against the snapshot + any tables flushed meanwhile.
+    auto& injector = FaultInjector::instance();
+    switch (injector.roll(FaultPoint::kStoreCompact)) {
+        case FaultAction::kNone:
+            break;
+        case FaultAction::kError:
+            throw StoreError("injected store compact fault");
+        case FaultAction::kDrop:
+            return false;  // round abandoned, nothing swapped
+        case FaultAction::kDelay:
+            // Widens the unlocked merge window for insert-during-compaction
+            // tests.
+            // dcdblint: allow-sleep (injected fault delay)
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                injector.delay_ns(FaultPoint::kStoreCompact)));
+            break;
     }
-    for (const auto& path : old_paths) fs::remove(path);
+    MergeOptions options;
+    options.cutoff = cutoff;
+    options.now = now_ns();
+    MergeResult result =
+        merge_tables(inputs, sstable_path(out_generation), out_generation,
+                     options);
+    const std::string out_path =
+        result.table ? result.table->path() : std::string{};
+
+    // Phase 3 — brief writer lock: atomically swap the merged table in
+    // for its inputs. Tables flushed during the merge sit after the run
+    // and keep shadowing it, exactly as their generations say.
+    std::vector<std::string> doomed;
+    {
+        const TimestampNs stall_start = steady_ns();
+        WriterLock lock(mutex_);
+        const auto first = std::find_if(
+            sstables_.begin(), sstables_.end(),
+            [&](const auto& table) { return table.get() == inputs.front(); });
+        if (first == sstables_.end() ||
+            static_cast<std::size_t>(sstables_.end() - first) < inputs.size())
+            throw StoreError("compaction inputs vanished mid-merge");
+        doomed.reserve(inputs.size());
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            doomed.push_back((first + static_cast<std::ptrdiff_t>(i))
+                                 ->get()
+                                 ->path());
+        const auto idx = first - sstables_.begin();
+        sstables_.erase(first,
+                        first + static_cast<std::ptrdiff_t>(inputs.size()));
+        if (result.table)
+            sstables_.insert(sstables_.begin() + idx,
+                             std::move(result.table));
+        compaction_stall_.record(steady_ns() - stall_start);
+    }
+
+    // Phase 4 — no locks: delete the replaced files. The merged output
+    // reused the newest input's path; removing it here would delete the
+    // fresh table, so it is skipped. (Crash before this point leaves
+    // superseded files whose rows the merged table shadows on reopen.)
+    for (const auto& path : doomed) {
+        if (path == out_path) continue;
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+
     compactions_.add(1);
-    compaction_latency_.record(steady_ns() - start);
+    compaction_tables_.add(result.stats.tables_in);
+    compaction_bytes_.add(result.stats.bytes_out);
+    compaction_latency_.record(steady_ns() - op_start);
+    return true;
 }
 
-void StorageNode::truncate_before(TimestampNs cutoff) {
-    WriterLock lock(mutex_);
-    flush_locked();
-    std::map<Key, std::vector<Row>> kept;
-    const TimestampNs now = now_ns();
-    for (const auto& table : sstables_) {
-        for (const auto& key : table->keys()) {
-            auto& dst = kept[key];
-            std::map<TimestampNs, Row> by_ts;
-            for (auto& row : dst) by_ts[row.ts] = row;
-            for (const auto& row : table->read_partition(key))
-                by_ts[row.ts] = row;
-            dst.clear();
-            for (const auto& [ts, row] : by_ts) {
-                if (ts >= cutoff && !row.expired(now)) dst.push_back(row);
-            }
-        }
-    }
-    std::erase_if(kept, [](const auto& kv) { return kv.second.empty(); });
+void StorageNode::compact() { run_maintenance(/*merge_all=*/true, 0); }
 
-    std::vector<std::string> old_paths;
-    for (const auto& table : sstables_) old_paths.push_back(table->path());
-    sstables_.clear();
-    if (!kept.empty()) {
-        const std::uint64_t gen = next_generation_++;
-        sstables_.push_back(SsTable::write(sstable_path(gen), gen, kept));
-    }
-    for (const auto& path : old_paths) fs::remove(path);
+void StorageNode::truncate_before(TimestampNs cutoff) {
+    run_maintenance(/*merge_all=*/true, cutoff);
+}
+
+bool StorageNode::maintain() {
+    return run_maintenance(/*merge_all=*/false, 0);
 }
 
 NodeStats StorageNode::stats() const {
@@ -281,6 +410,8 @@ NodeStats StorageNode::stats() const {
     if (commitlog_) s.commitlog_syncs = commitlog_->syncs();
     s.bloom_checks = bloom_checks_.value();
     s.bloom_negatives = bloom_negatives_.value();
+    s.compaction_tables = compaction_tables_.value();
+    s.compaction_bytes = compaction_bytes_.value();
     return s;
 }
 

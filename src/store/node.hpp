@@ -1,5 +1,12 @@
 // Single storage server: commit log + memtable + SSTables (the Cassandra
 // storage engine path, scoped to what DCDB's workload exercises).
+//
+// Maintenance (compact / truncate_before / maintain) is non-blocking:
+// the writer lock is held only to snapshot the input table set and to
+// swap in the merged result; the streaming k-way merge itself (see
+// store/compaction.hpp) runs with no locks held, so concurrent inserts
+// and queries proceed throughout. DESIGN.md §9 documents the
+// snapshot/merge/swap protocol and its durability ordering.
 #pragma once
 
 #include <atomic>
@@ -22,6 +29,12 @@ struct NodeConfig {
     /// fdatasync the commit log every N appends (0 = only on close).
     /// Bounds post-crash loss to at most N readings per node.
     std::size_t commitlog_sync_every{256};
+    /// Size-tiered maintenance: minimum adjacent similar-size tables
+    /// before maintain() merges a tier.
+    std::size_t compaction_min_tables{4};
+    /// Size-tiered maintenance: tables within this size ratio of each
+    /// other belong to the same tier.
+    double compaction_size_ratio{2.0};
     /// Shared metric registry for the node's counters and latency
     /// histograms; nullptr keeps a private one.
     telemetry::MetricRegistry* registry{nullptr};
@@ -43,6 +56,10 @@ struct NodeStats {
     std::uint64_t bloom_checks{0};
     /// SSTable probes skipped because the bloom filter proved absence.
     std::uint64_t bloom_negatives{0};
+    /// Input tables consumed by compaction merges.
+    std::uint64_t compaction_tables{0};
+    /// Bytes written by compaction merges (the rewrite amplification).
+    std::uint64_t compaction_bytes{0};
 };
 
 class StorageNode {
@@ -68,16 +85,31 @@ class StorageNode {
 
     /// Merge all SSTables into one, dropping expired and shadowed rows
     /// (the `config` tool's "compact" maintenance command drives this).
+    /// Streaming and non-blocking: inserts and queries proceed while the
+    /// merge runs.
     void compact() DCDB_EXCLUDES(mutex_);
 
     /// Drop all rows with ts < cutoff across the node (the `config`
-    /// tool's "delete old data" command).
+    /// tool's "delete old data" command). Rows inserted concurrently
+    /// with the purge are preserved regardless of timestamp.
     void truncate_before(TimestampNs cutoff) DCDB_EXCLUDES(mutex_);
+
+    /// One background maintenance round: merge the best size tier of
+    /// adjacent similar-size tables, if any (the StoreCluster
+    /// maintenance thread calls this periodically). Returns true when a
+    /// tier was merged.
+    bool maintain() DCDB_EXCLUDES(mutex_);
 
     NodeStats stats() const DCDB_EXCLUDES(mutex_);
 
   private:
     void flush_locked() DCDB_REQUIRES(mutex_);
+    /// Shared snapshot/merge/swap engine behind compact(),
+    /// truncate_before() and maintain(). `merge_all` selects every table
+    /// (manual compaction / purge); otherwise the size-tiered policy
+    /// picks a run. Returns true when a merge happened.
+    bool run_maintenance(bool merge_all, TimestampNs cutoff)
+        DCDB_EXCLUDES(mutex_) DCDB_EXCLUDES(maintenance_mutex_);
     std::string sstable_path(std::uint64_t generation) const;
 
     NodeConfig config_;
@@ -88,16 +120,29 @@ class StorageNode {
     telemetry::Counter& compactions_;
     telemetry::Counter& bloom_checks_;
     telemetry::Counter& bloom_negatives_;
+    telemetry::Counter& compaction_tables_;
+    telemetry::Counter& compaction_bytes_;
     telemetry::Histogram& flush_latency_;
     telemetry::Histogram& compaction_latency_;
+    /// Writer-lock hold time of the maintenance phases (snapshot, swap):
+    /// the insert/query stall a compaction actually causes — this is the
+    /// histogram bench_compaction's smoke gate bounds.
+    telemetry::Histogram& compaction_stall_;
     telemetry::Histogram& commitlog_sync_latency_;
+    /// Serializes maintenance operations (compact / truncate_before /
+    /// maintain): the unlocked merge phase relies on being the only
+    /// remover of SSTables. Lock order: maintenance_mutex_ -> mutex_.
+    Mutex maintenance_mutex_;
     mutable SharedMutex mutex_;
     Memtable memtable_ DCDB_GUARDED_BY(mutex_);
     // The commit log has its own internal mutex; the pointer itself is
     // only swapped under the writer lock. Lock order: mutex_ -> CommitLog.
     std::unique_ptr<CommitLog> commitlog_ DCDB_GUARDED_BY(mutex_);
     std::size_t appends_since_sync_ DCDB_GUARDED_BY(mutex_){0};
-    // ascending generation
+    // Oldest-to-newest shadowing order == ascending generation: flushes
+    // append fresh generations and a tier merge inherits its newest
+    // input's generation, so the invariant survives mid-sequence merges
+    // and reopen-from-disk sorts (see store/compaction.hpp).
     std::vector<std::unique_ptr<SsTable>> sstables_ DCDB_GUARDED_BY(mutex_);
     std::uint64_t next_generation_ DCDB_GUARDED_BY(mutex_){1};
     // Per-node flush count for compact()'s "anything new since the last

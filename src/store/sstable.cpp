@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 
 #include "common/bytebuf.hpp"
@@ -16,10 +17,14 @@ namespace {
 constexpr std::uint32_t kMagic = 0x44535354;  // 'DSST'
 constexpr std::size_t kFooterBytes = 8 + 8 + 8 + 8 + 4;
 
-void write_row(ByteWriter& w, const Row& r) {
-    w.u64be(r.ts);
-    w.i64be(r.value);
-    w.u32be(r.expiry_s);
+void encode_row(const Row& r, std::uint8_t out[Row::kBytes]) {
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(r.ts >> (56 - 8 * i));
+    const auto v = static_cast<std::uint64_t>(r.value);
+    for (int i = 0; i < 8; ++i)
+        out[8 + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    for (int i = 0; i < 4; ++i)
+        out[16 + i] = static_cast<std::uint8_t>(r.expiry_s >> (24 - 8 * i));
 }
 
 Row read_row(ByteReader& r) {
@@ -37,72 +42,155 @@ void pread_exact(int fd, void* buf, std::size_t n, std::uint64_t offset,
         const ssize_t got =
             ::pread(fd, static_cast<std::uint8_t*>(buf) + done, n - done,
                     static_cast<off_t>(offset + done));
+        if (got < 0 && errno == EINTR) continue;  // interrupted, not short
         if (got <= 0) throw StoreError("short read from " + path);
         done += static_cast<std::size_t>(got);
     }
 }
 
+/// fsync the directory containing `path`, so the rename that published a
+/// file in it is itself durable (a crash can otherwise forget the
+/// directory entry while the commit log was already reset).
+void fsync_parent_dir(const std::string& path) {
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    int fd;
+    do {
+        fd = ::open(dir.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) throw StoreError("cannot open directory " + dir);
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    ::close(fd);
+    if (rc != 0) throw StoreError("cannot fsync directory " + dir);
+}
+
+void fsync_file(std::FILE* f, const std::string& path) {
+    if (std::fflush(f) != 0) throw StoreError("cannot flush " + path);
+    int rc;
+    do {
+        rc = ::fsync(::fileno(f));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) throw StoreError("cannot fsync " + path);
+}
+
 }  // namespace
+
+// ------------------------------------------------------------- writer
+
+SsTableWriter::SsTableWriter(std::string path, std::uint64_t generation,
+                             std::size_t expected_partitions)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      generation_(generation),
+      bloom_(std::max<std::size_t>(expected_partitions, 1)) {
+    file_ = std::fopen(tmp_path_.c_str(), "wb");
+    if (!file_) throw StoreError("cannot create " + tmp_path_);
+}
+
+SsTableWriter::~SsTableWriter() {
+    if (!file_) return;
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+}
+
+void SsTableWriter::put(const void* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, file_) != n)
+        throw StoreError("short write to " + tmp_path_);
+    offset_ += n;
+}
+
+void SsTableWriter::begin_partition(const Key& key) {
+    if (in_partition_)
+        throw StoreError("unterminated partition in " + tmp_path_);
+    if (!index_.empty() && !(index_.back().key < key))
+        throw StoreError("partitions out of key order in " + tmp_path_);
+    in_partition_ = true;
+    PendingEntry e;
+    e.key = key;
+    e.offset = offset_;
+    index_.push_back(e);
+}
+
+void SsTableWriter::add_row(const Row& row) {
+    auto& e = index_.back();
+    if (e.rows == 0) e.min_ts = row.ts;
+    e.max_ts = row.ts;
+    ++e.rows;
+    ++rows_written_;
+    std::uint8_t buf[Row::kBytes];
+    encode_row(row, buf);
+    put(buf, sizeof buf);
+}
+
+void SsTableWriter::end_partition() {
+    if (!in_partition_)
+        throw StoreError("end_partition without begin in " + tmp_path_);
+    in_partition_ = false;
+    if (index_.back().rows == 0) {
+        index_.pop_back();  // empty partitions are omitted
+        return;
+    }
+    std::uint8_t kb[Key::kBytes];
+    index_.back().key.serialize(kb);
+    bloom_.insert(kb);
+}
+
+std::unique_ptr<SsTable> SsTableWriter::finish() {
+    if (in_partition_)
+        throw StoreError("finish with open partition in " + tmp_path_);
+
+    ByteWriter tail;
+    const std::uint64_t index_offset = offset_;
+    for (const auto& e : index_) {
+        std::uint8_t kb[Key::kBytes];
+        e.key.serialize(kb);
+        tail.bytes(kb, sizeof kb);
+        tail.u64be(e.offset);
+        tail.u64be(e.rows);
+        tail.u64be(e.min_ts);
+        tail.u64be(e.max_ts);
+    }
+    const std::uint64_t bloom_offset = index_offset + tail.size();
+    tail.u32be(bloom_.hash_count());
+    tail.u64be(bloom_.bits().size());
+    for (const auto word : bloom_.bits()) tail.u64be(word);
+    tail.u64be(index_offset);
+    tail.u64be(bloom_offset);
+    tail.u64be(index_.size());
+    tail.u64be(generation_);
+    tail.u32be(kMagic);
+    put(tail.data().data(), tail.size());
+
+    // Durability ordering: the data must be on the device before the
+    // rename makes it reachable, and the rename must be on the device
+    // before the caller may reset the commit log.
+    fsync_file(file_, tmp_path_);
+    std::fclose(file_);
+    file_ = nullptr;
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+        throw StoreError("cannot rename " + tmp_path_);
+    fsync_parent_dir(path_);
+    finished_ = true;
+    return SsTable::open(path_);
+}
+
+// -------------------------------------------------------------- sstable
 
 std::unique_ptr<SsTable> SsTable::write(
     const std::string& path, std::uint64_t generation,
     const std::map<Key, std::vector<Row>>& partitions) {
-    ByteWriter file;
-    std::vector<IndexEntry> index;
-    index.reserve(partitions.size());
-    BloomFilter bloom(partitions.size());
-
+    SsTableWriter writer(path, generation, partitions.size());
     for (const auto& [key, rows] : partitions) {
         if (rows.empty()) continue;
-        IndexEntry e;
-        e.key = key;
-        e.offset = file.size();
-        e.rows = rows.size();
-        e.min_ts = rows.front().ts;
-        e.max_ts = rows.back().ts;
-        index.push_back(e);
-        for (const auto& row : rows) write_row(file, row);
-
-        std::uint8_t kb[Key::kBytes];
-        key.serialize(kb);
-        bloom.insert(kb);
+        writer.begin_partition(key);
+        for (const auto& row : rows) writer.add_row(row);
+        writer.end_partition();
     }
-
-    const std::uint64_t index_offset = file.size();
-    for (const auto& e : index) {
-        std::uint8_t kb[Key::kBytes];
-        e.key.serialize(kb);
-        file.bytes(kb, sizeof kb);
-        file.u64be(e.offset);
-        file.u64be(e.rows);
-        file.u64be(e.min_ts);
-        file.u64be(e.max_ts);
-    }
-
-    const std::uint64_t bloom_offset = file.size();
-    file.u32be(bloom.hash_count());
-    file.u64be(bloom.bits().size());
-    for (const auto word : bloom.bits()) file.u64be(word);
-
-    file.u64be(index_offset);
-    file.u64be(bloom_offset);
-    file.u64be(index.size());
-    file.u64be(generation);
-    file.u32be(kMagic);
-
-    const std::string tmp = path + ".tmp";
-    FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (!f) throw StoreError("cannot create " + tmp);
-    const auto& bytes = file.data();
-    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-        std::fclose(f);
-        throw StoreError("short write to " + tmp);
-    }
-    std::fclose(f);
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw StoreError("cannot rename " + tmp);
-
-    return open(path);
+    return writer.finish();
 }
 
 std::unique_ptr<SsTable> SsTable::open(const std::string& path) {
@@ -188,9 +276,14 @@ void SsTable::read_rows(const IndexEntry& entry, std::size_t first_row,
     for (std::size_t i = 0; i < n; ++i) out.push_back(read_row(r));
 }
 
+void SsTable::read_partition_rows(std::size_t partition,
+                                  std::size_t first_row, std::size_t n,
+                                  std::vector<Row>& out) const {
+    read_rows(index_[partition], first_row, n, out);
+}
+
 void SsTable::query(const Key& key, TimestampNs t0, TimestampNs t1,
                     std::vector<Row>& out) const {
-    if (!may_contain(key)) return;
     const IndexEntry* entry = find_entry(key);
     if (!entry || entry->min_ts > t1 || entry->max_ts < t0) return;
 

@@ -12,6 +12,12 @@
 //
 // The index and bloom filter are loaded at open; row data is served with
 // pread, so a table costs O(partitions) memory regardless of row volume.
+//
+// Durability ordering (DESIGN.md §9): tables are written to `path.tmp`,
+// fsynced, renamed into place, and the parent directory is fsynced —
+// only then may the caller discard the rows' other home (the commit
+// log). A crash at any point leaves either the old directory state or
+// the complete new table, never a half-written `.db` file.
 #pragma once
 
 #include <map>
@@ -41,6 +47,10 @@ class SsTable {
     SsTable& operator=(const SsTable&) = delete;
 
     /// Rows in [t0, t1] for `key`, appended to `out` in timestamp order.
+    /// Does NOT consult the bloom filter: StorageNode::query probes it
+    /// once via may_contain() before calling here, and a second probe
+    /// would double-count bloom effectiveness stats. Missing keys are
+    /// handled by the index lookup.
     void query(const Key& key, TimestampNs t0, TimestampNs t1,
                std::vector<Row>& out) const;
 
@@ -51,6 +61,20 @@ class SsTable {
     std::vector<Row> read_partition(const Key& key) const;
 
     bool may_contain(const Key& key) const;
+
+    // Positional partition access, the streaming-compaction read path:
+    // partitions are addressed by index in key order and their rows read
+    // in bounded chunks (see store/compaction.cpp).
+    const Key& partition_key(std::size_t partition) const {
+        return index_[partition].key;
+    }
+    std::uint64_t partition_row_count(std::size_t partition) const {
+        return index_[partition].rows;
+    }
+    /// Rows [first_row, first_row + n) of the partition, appended to
+    /// `out` in timestamp order.
+    void read_partition_rows(std::size_t partition, std::size_t first_row,
+                             std::size_t n, std::vector<Row>& out) const;
 
     std::uint64_t generation() const { return generation_; }
     std::size_t partition_count() const { return index_.size(); }
@@ -78,6 +102,65 @@ class SsTable {
     std::uint64_t file_bytes_{0};
     std::vector<IndexEntry> index_;  // sorted by key
     std::unique_ptr<BloomFilter> bloom_;
+};
+
+/// Streaming SSTable writer: rows go straight to the (buffered) output
+/// file as they arrive, so writing a table needs O(partitions) memory for
+/// the index + bloom filter, never O(rows). This is what lets compaction
+/// merge arbitrarily large tables with bounded memory.
+///
+/// Protocol: begin_partition(key) with strictly ascending keys,
+/// add_row() with ascending timestamps within the partition, then
+/// end_partition(); finish() seals the file (index, bloom, footer),
+/// makes it durable (fsync -> rename -> parent-dir fsync) and returns
+/// the opened table. A writer destroyed before finish() removes its
+/// temporary file.
+class SsTableWriter {
+  public:
+    /// `expected_partitions` sizes the bloom filter; an upper bound is
+    /// fine (oversizing only lowers the false-positive rate).
+    SsTableWriter(std::string path, std::uint64_t generation,
+                  std::size_t expected_partitions);
+    ~SsTableWriter();
+
+    SsTableWriter(const SsTableWriter&) = delete;
+    SsTableWriter& operator=(const SsTableWriter&) = delete;
+
+    void begin_partition(const Key& key);
+    void add_row(const Row& row);
+    /// Ends the open partition; a partition that received no rows is
+    /// omitted from the index entirely.
+    void end_partition();
+
+    /// Seal + durably publish the table, then open it. The returned
+    /// table may be empty (zero partitions); callers that do not want an
+    /// empty table on disk remove it via its path().
+    std::unique_ptr<SsTable> finish();
+
+    std::uint64_t rows_written() const { return rows_written_; }
+    std::uint64_t bytes_written() const { return offset_; }
+
+  private:
+    struct PendingEntry {
+        Key key;
+        std::uint64_t offset{0};
+        std::uint64_t rows{0};
+        TimestampNs min_ts{0};
+        TimestampNs max_ts{0};
+    };
+
+    void put(const void* data, std::size_t n);
+
+    std::string path_;
+    std::string tmp_path_;
+    std::uint64_t generation_;
+    std::FILE* file_{nullptr};
+    std::uint64_t offset_{0};
+    BloomFilter bloom_;
+    std::vector<PendingEntry> index_;
+    bool in_partition_{false};
+    bool finished_{false};
+    std::uint64_t rows_written_{0};
 };
 
 }  // namespace dcdb::store

@@ -278,6 +278,36 @@ TEST_F(LibDcdbTest, CyclicVirtualSensorsThrow) {
     EXPECT_THROW(conn_->query("/cy/a", 0, kTimestampMax), QueryError);
 }
 
+TEST_F(LibDcdbTest, FailedEvaluationDoesNotPoisonLaterQueries) {
+    insert_series("/g/a", kNsPerSec, 3 * kNsPerSec, kNsPerSec,
+                  [](TimestampNs) { return 5; });
+    // Syntactically valid but unevaluable: no operands. The definition
+    // passes define_virtual's parse check and fails at evaluation time,
+    // after the evaluator has marked the topic as in progress.
+    conn_->define_virtual("/g/bad", "1 + 1", "");
+    conn_->define_virtual("/g/sum", "/g/bad + /g/a", "");
+
+    VirtualEvaluator evaluator(*conn_);
+    EXPECT_THROW(evaluator.evaluate("/g/bad", 0, kTimestampMax), QueryError);
+
+    // The failed evaluation must unwind its in-progress mark: a later
+    // query through the same evaluator must report the genuine error,
+    // not a bogus "cyclic virtual sensor definition".
+    try {
+        evaluator.evaluate("/g/sum", 0, kTimestampMax);
+        FAIL() << "expected QueryError";
+    } catch (const QueryError& e) {
+        EXPECT_EQ(std::string(e.what()).find("cyclic"), std::string::npos)
+            << e.what();
+    }
+
+    // Fixing the definition makes the same evaluator succeed.
+    conn_->define_virtual("/g/bad", "/g/a * 2", "");
+    const auto series = evaluator.evaluate("/g/bad", 0, kTimestampMax);
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_DOUBLE_EQ(series[0].value, 10.0);
+}
+
 TEST_F(LibDcdbTest, VirtualSensorScaleQuantizesResults) {
     conn_->insert("/q/a", {kNsPerSec, 1});
     conn_->insert("/q/b", {kNsPerSec, 3});

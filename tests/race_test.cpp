@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/sensor_cache.hpp"
 #include "mqtt/broker.hpp"
 #include "mqtt/client.hpp"
@@ -278,6 +279,56 @@ TEST(StorageNodeRace, InsertQueryFlushCompact) {
             make_key(static_cast<std::uint8_t>(w + 1)), 0, kTimestampMax);
         EXPECT_EQ(rows.size(), static_cast<std::size_t>(kInserts));
     }
+}
+
+// Inserts, flushes and queries must make progress while a compaction's
+// streaming merge runs: the kStoreCompact delay pins the compactor
+// inside its unlocked merge phase, so everything the writer thread does
+// here overlaps the merge. The final swap must preserve the tables those
+// concurrent flushes created.
+TEST(StorageNodeRace, InsertsAndQueriesProceedDuringCompaction) {
+    constexpr int kSeedRows = 200;
+    constexpr int kConcurrentInserts = 3000;
+
+    TempDir dir;
+    store::NodeConfig config;
+    config.data_dir = dir.str();
+    config.memtable_flush_bytes = 1u << 14;  // force flushes mid-merge
+    config.commitlog_enabled = false;
+    store::StorageNode node(config);
+
+    // Seed a few tables so the merge has real inputs.
+    for (int t = 0; t < 4; ++t) {
+        for (int i = 0; i < kSeedRows; ++i)
+            node.insert(make_key(1),
+                        static_cast<TimestampNs>(t * kSeedRows + i), 1);
+        node.flush();
+    }
+
+    ScopedFault fault(FaultPoint::kStoreCompact,
+                      {.delay_prob = 1.0, .delay_ns = 100 * kNsPerMs,
+                       .max_triggers = 1});
+    std::thread compactor([&] { node.compact(); });
+    std::thread writer([&] {
+        for (int i = 0; i < kConcurrentInserts; ++i)
+            node.insert(make_key(2), static_cast<TimestampNs>(i), i);
+    });
+    std::thread reader([&] {
+        for (int i = 0; i < 200; ++i) {
+            node.query(make_key(1), 0, kTimestampMax);
+            node.stats();
+        }
+    });
+    writer.join();
+    reader.join();
+    compactor.join();
+
+    node.flush();
+    EXPECT_EQ(node.stats().compactions, 1u);
+    EXPECT_EQ(node.query(make_key(1), 0, kTimestampMax).size(),
+              static_cast<std::size_t>(4 * kSeedRows));
+    EXPECT_EQ(node.query(make_key(2), 0, kTimestampMax).size(),
+              static_cast<std::size_t>(kConcurrentInserts));
 }
 
 // ---------------------------------------------------------------- Sampler

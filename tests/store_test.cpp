@@ -12,6 +12,7 @@
 #include "store/bloom.hpp"
 #include "store/cluster.hpp"
 #include "store/commitlog.hpp"
+#include "store/compaction.hpp"
 #include "store/memtable.hpp"
 #include "store/metastore.hpp"
 #include "store/murmur.hpp"
@@ -487,6 +488,267 @@ TEST(StorageNode, ConcurrentWritersAndReaders) {
     }
 }
 
+// ------------------------------------------------------------ compaction
+
+/// Write one SSTable holding `rows` for `key` at generation `gen`.
+std::unique_ptr<SsTable> write_table(const std::string& dir, std::uint64_t gen,
+                                     const Key& key,
+                                     const std::vector<Row>& rows) {
+    std::map<Key, std::vector<Row>> partitions;
+    partitions[key] = rows;
+    return SsTable::write(dir + "/sstable-" + std::to_string(gen) + ".db",
+                          gen, partitions);
+}
+
+TEST(Compaction, StreamingWriterRoundTrips) {
+    TempDir dir;
+    const std::string path = dir.str() + "/sstable-7.db";
+    SsTableWriter writer(path, 7, 2);
+    writer.begin_partition(make_key(1));
+    for (TimestampNs ts = 1; ts <= 5000; ++ts)
+        writer.add_row(Row{ts, static_cast<Value>(ts), 0});
+    writer.end_partition();
+    writer.begin_partition(make_key(2));  // left empty: must be omitted
+    writer.end_partition();
+    writer.begin_partition(make_key(3));
+    writer.add_row(Row{1, 42, 0});
+    writer.end_partition();
+    const auto table = writer.finish();
+
+    EXPECT_EQ(table->generation(), 7u);
+    EXPECT_EQ(table->partition_count(), 2u);
+    EXPECT_EQ(table->row_count(), 5001u);
+    std::vector<Row> rows;
+    table->query(make_key(1), 0, kTimestampMax, rows);
+    ASSERT_EQ(rows.size(), 5000u);
+    EXPECT_EQ(rows.front().ts, 1u);
+    EXPECT_EQ(rows.back().ts, 5000u);
+
+    // The durable publish leaves no temporary behind.
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+    // Reopen from disk: the streamed layout is the on-disk format.
+    const auto reopened = SsTable::open(path);
+    EXPECT_EQ(reopened->row_count(), 5001u);
+}
+
+TEST(Compaction, WriterRejectsOutOfOrderKeys) {
+    TempDir dir;
+    SsTableWriter writer(dir.str() + "/sstable-1.db", 1, 2);
+    writer.begin_partition(make_key(5));
+    writer.add_row(Row{1, 1, 0});
+    writer.end_partition();
+    EXPECT_THROW(writer.begin_partition(make_key(4)), StoreError);
+}
+
+TEST(Compaction, MergeShadowsNewestInputOnEqualTimestamp) {
+    TempDir dir;
+    const Key k = make_key(1);
+    const auto old_table =
+        write_table(dir.str(), 1, k, {{100, 1, 0}, {200, 1, 0}});
+    const auto new_table =
+        write_table(dir.str(), 2, k, {{200, 2, 0}, {300, 2, 0}});
+
+    const auto result = merge_tables({old_table.get(), new_table.get()},
+                                     dir.str() + "/merged.db", 2, {});
+    ASSERT_NE(result.table, nullptr);
+    EXPECT_EQ(result.stats.tables_in, 2u);
+    EXPECT_EQ(result.stats.rows_in, 4u);
+    EXPECT_EQ(result.stats.rows_out, 3u);
+
+    std::vector<Row> rows;
+    result.table->query(k, 0, kTimestampMax, rows);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].value, 1);  // ts 100, only in gen 1
+    EXPECT_EQ(rows[1].value, 2);  // ts 200, gen 2 shadows gen 1
+    EXPECT_EQ(rows[2].value, 2);  // ts 300, only in gen 2
+}
+
+TEST(Compaction, MergeAppliesCutoffAndExpiry) {
+    TempDir dir;
+    const Key k = make_key(1);
+    const TimestampNs now = now_ns();
+    // {ts, value, expiry_s}: row 2 expired long ago, rows 1 and 3 live.
+    const auto table = write_table(
+        dir.str(), 1, k,
+        {{100, 1, 0},
+         {200, 2, static_cast<std::uint32_t>(now / kNsPerSec - 50)},
+         {300, 3, 0}});
+
+    MergeOptions options;
+    options.cutoff = 150;  // drops ts 100
+    options.now = now;     // drops the expired ts 200
+    const auto result =
+        merge_tables({table.get()}, dir.str() + "/merged.db", 1, options);
+    ASSERT_NE(result.table, nullptr);
+    std::vector<Row> rows;
+    result.table->query(k, 0, kTimestampMax, rows);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].ts, 300u);
+}
+
+TEST(Compaction, MergeWithNoSurvivorsReturnsNullAndRemovesFile) {
+    TempDir dir;
+    const Key k = make_key(1);
+    const auto table = write_table(dir.str(), 1, k, {{100, 1, 0}});
+    MergeOptions options;
+    options.cutoff = 1000;  // everything cut off
+    const std::string out = dir.str() + "/merged.db";
+    const auto result = merge_tables({table.get()}, out, 1, options);
+    EXPECT_EQ(result.table, nullptr);
+    EXPECT_EQ(result.stats.rows_out, 0u);
+    EXPECT_FALSE(fs::exists(out));
+}
+
+TEST(Compaction, MergeSpansManyPartitionsAndChunks) {
+    TempDir dir;
+    // Two tables with interleaved keys and >1 chunk of rows per shared
+    // partition, so the cursor's chunked reads and the min-key scan both
+    // get exercised.
+    std::map<Key, std::vector<Row>> a_parts;
+    std::map<Key, std::vector<Row>> b_parts;
+    for (std::uint8_t tag = 1; tag <= 6; ++tag) {
+        std::vector<Row> rows;
+        for (TimestampNs ts = 1; ts <= 5000; ++ts)
+            rows.push_back(Row{ts, tag, 0});
+        if (tag % 2 == 0)
+            a_parts[make_key(tag)] = rows;
+        else
+            b_parts[make_key(tag)] = std::move(rows);
+    }
+    // One shared partition to merge across both inputs.
+    a_parts[make_key(7)] = {{1, 10, 0}, {2, 10, 0}};
+    b_parts[make_key(7)] = {{2, 20, 0}, {3, 20, 0}};
+    const auto a = SsTable::write(dir.str() + "/sstable-1.db", 1, a_parts);
+    const auto b = SsTable::write(dir.str() + "/sstable-2.db", 2, b_parts);
+
+    const auto result =
+        merge_tables({a.get(), b.get()}, dir.str() + "/merged.db", 2, {});
+    ASSERT_NE(result.table, nullptr);
+    EXPECT_EQ(result.table->partition_count(), 7u);
+    EXPECT_EQ(result.table->row_count(), 6u * 5000u + 3u);
+    std::vector<Row> rows;
+    result.table->query(make_key(7), 0, kTimestampMax, rows);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[1].value, 20);  // ts 2: b (gen 2, later input) wins
+}
+
+TEST(Compaction, SelectSizeTierFindsAdjacentSimilarRun) {
+    // Four similar-size tables after a big one: the run [1, 5) qualifies.
+    const std::vector<std::uint64_t> sizes{1000, 10, 12, 11, 13};
+    const auto tier = select_size_tier(sizes, 4, 2.0);
+    EXPECT_EQ(tier.begin, 1u);
+    EXPECT_EQ(tier.end, 5u);
+}
+
+TEST(Compaction, SelectSizeTierRespectsRatioAndMinTables) {
+    // Geometric sizes: no four adjacent tables within 2x of each other.
+    EXPECT_TRUE(select_size_tier({1, 4, 16, 64, 256}, 4, 2.0).empty());
+    // Three similar tables are not enough for min_tables = 4...
+    EXPECT_TRUE(select_size_tier({10, 11, 12}, 4, 2.0).empty());
+    // ...but qualify when the policy asks for 3.
+    const auto tier = select_size_tier({10, 11, 12}, 3, 2.0);
+    EXPECT_EQ(tier.begin, 0u);
+    EXPECT_EQ(tier.end, 3u);
+}
+
+TEST(Compaction, SelectSizeTierPrefersLongestThenCheapestRun) {
+    // Two disjoint runs of length 4; the second rewrites fewer bytes.
+    const std::vector<std::uint64_t> sizes{100, 110, 105, 108, 5000,
+                                           10,  11,  10,  12};
+    const auto tier = select_size_tier(sizes, 4, 2.0);
+    EXPECT_EQ(tier.begin, 5u);
+    EXPECT_EQ(tier.end, 9u);
+}
+
+TEST(StorageNode, MaintainMergesSizeTierAndKeepsOutliers) {
+    TempDir dir;
+    NodeConfig config;
+    config.data_dir = dir.str();
+    config.memtable_flush_bytes = 1u << 20;
+    config.commitlog_enabled = false;
+    config.compaction_min_tables = 3;
+    StorageNode node(config);
+
+    // One big table, then three small similar ones.
+    const Key k = make_key(1);
+    for (TimestampNs ts = 1; ts <= 2000; ++ts) node.insert(k, ts, 1);
+    node.flush();
+    for (int t = 0; t < 3; ++t) {
+        for (TimestampNs ts = 3000 + t * 10; ts < 3005 + t * 10; ++ts)
+            node.insert(k, ts, 2);
+        node.flush();
+    }
+    ASSERT_EQ(node.stats().sstables, 4u);
+
+    EXPECT_TRUE(node.maintain());
+    auto stats = node.stats();
+    EXPECT_EQ(stats.sstables, 2u);  // big outlier + merged small tier
+    EXPECT_EQ(stats.compactions, 1u);
+    EXPECT_EQ(stats.compaction_tables, 3u);
+    EXPECT_GT(stats.compaction_bytes, 0u);
+    EXPECT_EQ(node.query(k, 0, kTimestampMax).size(), 2015u);
+
+    // Nothing left to merge: the next round is a no-op.
+    EXPECT_FALSE(node.maintain());
+}
+
+TEST(StorageNode, MidSequenceMergePreservesShadowingAcrossReopen) {
+    TempDir dir;
+    NodeConfig config;
+    config.data_dir = dir.str();
+    config.memtable_flush_bytes = 1u << 20;
+    config.commitlog_enabled = false;
+    config.compaction_min_tables = 2;
+    const Key k = make_key(1);
+    {
+        StorageNode node(config);
+        // Two similar small tables, then a BIG newer table shadowing the
+        // same timestamp: the tier merge must not let the merged output
+        // jump ahead of the newer generation when reopened from disk.
+        node.insert(k, 100, 1);
+        node.flush();
+        node.insert(k, 100, 2);
+        node.flush();
+        for (TimestampNs ts = 1000; ts <= 3000; ++ts) node.insert(k, ts, 3);
+        node.insert(k, 100, 99);  // newest write for ts 100
+        node.flush();
+        ASSERT_EQ(node.stats().sstables, 3u);
+
+        ASSERT_TRUE(node.maintain());  // merges the two small tables
+        ASSERT_EQ(node.stats().sstables, 2u);
+        const auto rows = node.query(k, 100, 100);
+        ASSERT_EQ(rows.size(), 1u);
+        EXPECT_EQ(rows[0].value, 99);
+    }
+    // Reopen: on-disk generation order must reproduce the shadowing.
+    StorageNode reopened(config);
+    const auto rows = reopened.query(k, 100, 100);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].value, 99);
+}
+
+TEST(StorageNode, ReopenSweepsLeftoverTemporaries) {
+    TempDir dir;
+    NodeConfig config;
+    config.data_dir = dir.str();
+    config.commitlog_enabled = false;
+    {
+        StorageNode node(config);
+        node.insert(make_key(1), 1, 1);
+        node.flush();
+    }
+    // Simulate a crash mid-compaction: a half-written temporary.
+    const std::string tmp = dir.str() + "/sstable-9.db.tmp";
+    FILE* f = fopen(tmp.c_str(), "wb");
+    fwrite("partial", 1, 7, f);
+    fclose(f);
+
+    StorageNode reopened(config);
+    EXPECT_FALSE(fs::exists(tmp));
+    EXPECT_EQ(reopened.query(make_key(1), 0, kTimestampMax).size(), 1u);
+}
+
 // --------------------------------------------------------------- cluster
 
 TEST(Cluster, RoutesToPrimaryAndQueriesBack) {
@@ -545,6 +807,46 @@ TEST(Cluster, Murmur3PartitionerHasPartialLocality) {
     const auto stats = cluster.stats();
     EXPECT_LT(stats.local_writes, stats.total_writes)
         << "hash partitioning cannot keep a subtree on one node";
+}
+
+TEST(Cluster, BackgroundMaintenanceMergesTiersWhileServing) {
+    TempDir dir;
+    ClusterConfig config;
+    config.base_dir = dir.str();
+    config.nodes = 1;
+    config.commitlog_enabled = false;
+    config.compaction_min_tables = 2;
+    StoreCluster cluster(config);
+
+    const Key k = make_key(1);
+    for (int t = 0; t < 4; ++t) {
+        for (TimestampNs ts = 1; ts <= 50; ++ts)
+            cluster.insert(k, static_cast<TimestampNs>(t) * 1000 + ts, 1);
+        cluster.flush_all();
+    }
+    ASSERT_EQ(cluster.stats().per_node[0].sstables, 4u);
+
+    cluster.start_maintenance(std::chrono::milliseconds(2));
+    EXPECT_TRUE(cluster.maintenance_running());
+    cluster.start_maintenance(std::chrono::milliseconds(2));  // idempotent
+
+    // Wait until the background thread has merged the tier (bounded).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (cluster.stats().per_node[0].sstables > 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+        EXPECT_EQ(cluster.query(k, 0, kTimestampMax).size(), 200u);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    cluster.stop_maintenance();
+    EXPECT_FALSE(cluster.maintenance_running());
+    cluster.stop_maintenance();  // idempotent
+
+    const auto stats = cluster.stats();
+    EXPECT_EQ(stats.per_node[0].sstables, 1u);
+    EXPECT_GT(stats.per_node[0].compactions, 0u);
+    EXPECT_GE(cluster.maintenance_rounds(), 1u);
+    EXPECT_EQ(cluster.query(k, 0, kTimestampMax).size(), 200u);
 }
 
 TEST(Cluster, InvalidConfigThrows) {

@@ -89,6 +89,9 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
         {"telemetry", {"telemetry", "common"}},
         {"net", {"net", "telemetry", "common"}},
         {"mqtt", {"mqtt", "net", "telemetry", "common"}},
+        // "store" includes the compaction engine (store/compaction.*):
+        // maintenance must stay a pure storage concern — it may see
+        // tables and metrics, never the broker or agent above it.
         {"store", {"store", "telemetry", "common"}},
         {"core", {"core", "common", "mqtt", "store", "telemetry"}},
         {"sim", {"sim", "net", "telemetry", "common"}},
@@ -579,6 +582,12 @@ const Case kCases[] = {
      "#include \"store/node.hpp\"\n", "cross-layer"},
     {"store including mqtt fires", "src/store/bad2.hpp",
      "#include \"mqtt/client.hpp\"\n", "cross-layer"},
+    {"compaction engine stays inside store", "src/store/compaction.cpp",
+     "#include \"store/sstable.hpp\"\n"
+     "#include \"telemetry/metrics.hpp\"\n",
+     nullptr},
+    {"compaction engine must not reach the agent", "src/store/compaction.cpp",
+     "#include \"collectagent/collect_agent.hpp\"\n", "cross-layer"},
     {"pusher including core clean", "src/pusher/good4.hpp",
      "#include \"core/sensor_cache.hpp\"\n", nullptr},
     {"nine-level topic fires", "src/core/bad2.cpp",
