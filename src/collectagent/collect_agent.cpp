@@ -30,6 +30,7 @@ CollectAgent::CollectAgent(const ConfigNode& config,
       messages_(registry_.counter("collectagent.messages")),
       readings_(registry_.counter("collectagent.readings")),
       decode_errors_(registry_.counter("collectagent.decode.errors")),
+      decode_salvaged_(registry_.counter("collectagent.decode.salvaged")),
       store_errors_(registry_.counter("collectagent.store.errors")),
       store_retries_(registry_.counter("collectagent.store.retries")),
       dead_letters_(registry_.counter("collectagent.dead.letters")),
@@ -77,23 +78,21 @@ std::uint16_t CollectAgent::rest_port() const {
     return rest_server_ ? rest_server_->port() : 0;
 }
 
-bool CollectAgent::insert_with_retry(const SensorId& sid,
-                                     const std::string& topic,
-                                     const Reading& reading) {
+bool CollectAgent::insert_batch_with_retry(
+    std::span<const store::BatchEntry> batch) {
     for (std::uint32_t attempt = 0;; ++attempt) {
         try {
             const TimestampNs insert_start = steady_ns();
-            cluster_->insert(sensor_key(sid, reading.ts), reading.ts,
-                             reading.value, ttl_s_, store_node_hint_);
+            cluster_->insert_batch(batch, store_node_hint_);
             store_latency_.record(steady_ns() - insert_start);
             return true;
         } catch (const std::exception& e) {
             store_errors_.add(1);
             if (attempt + 1 >= store_retry_max_) {
-                dead_letters_.add(1);
+                dead_letters_.add(batch.size());
                 DCDB_WARN("collectagent")
-                    << "dead-lettering reading on " << topic << " (ts "
-                    << reading.ts << ") after " << store_retry_max_
+                    << "dead-lettering batch of " << batch.size()
+                    << " readings after " << store_retry_max_
                     << " attempts: " << e.what();
                 return false;
             }
@@ -106,40 +105,106 @@ bool CollectAgent::insert_with_retry(const SensorId& sid,
     }
 }
 
+namespace {
+
+/// One decoded section, SID-resolved, awaiting storage. Views point into
+/// the publish payload, which outlives the whole on_publish call.
+struct PendingSection {
+    std::string_view topic;
+    SensorId sid;
+    ReadingsView readings;
+};
+
+}  // namespace
+
 void CollectAgent::on_publish(const mqtt::Publish& message) {
     messages_.add(1);
 
-    // Decode failures are terminal for the whole message (there is
-    // nothing to retry) and count as decode_errors. Store failures are
-    // transient, per reading, and must not drop the rest of the batch.
-    SensorId sid;
-    std::vector<Reading> readings;
-    try {
-        sid = mapper_.to_sid(message.topic);
-        readings = decode_readings(message.payload);
-    } catch (const std::exception& e) {
-        decode_errors_.add(1);
-        DCDB_WARN("collectagent")
-            << "dropping message on " << message.topic << ": " << e.what();
-        return;
-    }
-    if (readings.empty()) return;
+    // Decode failures are terminal (there is nothing to retry): a torn
+    // payload tail loses exactly the tail, the valid prefix is salvaged;
+    // readings on an unmappable topic are discarded individually. All
+    // discarded readings count as decode_errors. Store failures are
+    // transient and retried batch-at-a-time.
+    //
+    // on_publish runs on concurrent broker session threads; thread_local
+    // scratch keeps the steady-state decode path allocation-free.
+    thread_local BatchPayloadView view;
+    thread_local std::vector<PendingSection> sections;
+    thread_local std::vector<store::BatchEntry> batch;
+    thread_local std::string topic_scratch;
+    sections.clear();
+    batch.clear();
 
-    std::size_t stored = 0;
-    const Reading* newest_stored = nullptr;
-    for (const auto& reading : readings) {
-        if (!insert_with_retry(sid, message.topic, reading)) continue;
-        ++stored;
-        newest_stored = &reading;
-        if (live_listener_) live_listener_(message.topic, reading);
-    }
-    if (stored == 0) return;
-    readings_.add(stored);
+    const std::span<const std::uint8_t> payload(message.payload);
+    std::size_t discarded = 0;
+    bool torn = false;
 
-    // Cache the newest persisted reading and keep the hierarchy
-    // browsable — even when part of the batch was dead-lettered.
-    cache_.push(message.topic, *newest_stored);
-    tree_.add(message.topic);
+    if (is_batch_payload(payload)) {
+        decode_batch(payload, view);  // cannot throw: header was checked
+        torn = view.torn_bytes > 0;
+        for (const auto& section : view.sections) {
+            PendingSection pending;
+            pending.topic = section.topic;
+            pending.readings = section.readings;
+            try {
+                topic_scratch.assign(section.topic);
+                pending.sid = mapper_.to_sid(topic_scratch);
+            } catch (const std::exception& e) {
+                discarded += section.readings.size();
+                DCDB_WARN("collectagent")
+                    << "dropping section on " << section.topic << ": "
+                    << e.what();
+                continue;
+            }
+            if (pending.readings.size() > 0) sections.push_back(pending);
+        }
+    } else {
+        const SalvagedReadings salvage = decode_readings_view(payload);
+        torn = salvage.torn_bytes > 0;
+        if (salvage.readings.size() > 0) {
+            PendingSection pending;
+            pending.topic = message.topic;
+            pending.readings = salvage.readings;
+            try {
+                pending.sid = mapper_.to_sid(message.topic);
+                sections.push_back(pending);
+            } catch (const std::exception& e) {
+                discarded += salvage.readings.size();
+                DCDB_WARN("collectagent")
+                    << "dropping message on " << message.topic << ": "
+                    << e.what();
+            }
+        }
+    }
+    if (torn) ++discarded;  // the torn tail is at least one lost reading
+    if (discarded > 0) decode_errors_.add(discarded);
+
+    for (const auto& pending : sections) {
+        for (std::size_t i = 0; i < pending.readings.size(); ++i) {
+            const Reading reading = pending.readings[i];
+            batch.push_back(store::BatchEntry{
+                sensor_key(pending.sid, reading.ts), reading.ts,
+                reading.value, ttl_s_});
+        }
+    }
+    if (batch.empty()) return;
+    if (torn) decode_salvaged_.add(batch.size());
+
+    if (!insert_batch_with_retry(batch)) return;
+    readings_.add(batch.size());
+
+    // Cache the newest persisted reading per sensor, notify the live
+    // listener, and keep the hierarchy browsable.
+    for (const auto& pending : sections) {
+        topic_scratch.assign(pending.topic);
+        if (live_listener_) {
+            for (std::size_t i = 0; i < pending.readings.size(); ++i)
+                live_listener_(topic_scratch, pending.readings[i]);
+        }
+        cache_.push(topic_scratch,
+                    pending.readings[pending.readings.size() - 1]);
+        tree_.add(topic_scratch);
+    }
 }
 
 void CollectAgent::set_live_listener(LiveListener listener) {
@@ -148,7 +213,11 @@ void CollectAgent::set_live_listener(LiveListener listener) {
 
 void CollectAgent::ingest(const std::string& topic, const Reading& reading) {
     const SensorId sid = mapper_.to_sid(topic);
-    if (!insert_with_retry(sid, topic, reading)) return;
+    const store::BatchEntry entry{sensor_key(sid, reading.ts), reading.ts,
+                                  reading.value, ttl_s_};
+    if (!insert_batch_with_retry(
+            std::span<const store::BatchEntry>(&entry, 1)))
+        return;
     cache_.push(topic, reading);
     tree_.add(topic);
     readings_.add(1);
@@ -176,6 +245,7 @@ CollectAgentStats CollectAgent::stats() const {
     s.messages = messages_.value();
     s.readings = readings_.value();
     s.decode_errors = decode_errors_.value();
+    s.salvaged = decode_salvaged_.value();
     s.store_errors = store_errors_.value();
     s.store_retries = store_retries_.value();
     s.dead_letters = dead_letters_.value();

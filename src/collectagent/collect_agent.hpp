@@ -23,6 +23,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "common/config.hpp"
 #include "core/hierarchy.hpp"
@@ -39,9 +40,15 @@ namespace dcdb::collectagent {
 struct CollectAgentStats {
     std::uint64_t messages{0};
     std::uint64_t readings{0};
-    /// Messages whose topic or payload could not be decoded (dropped —
-    /// retrying cannot fix a malformed message).
+    /// READINGS discarded because they could not be decoded (dropped —
+    /// retrying cannot fix a malformed message). A torn payload tail
+    /// counts as one discarded reading, so a wholly unreadable message
+    /// still registers; readings lost to an unmappable topic count
+    /// individually.
     std::uint64_t decode_errors{0};
+    /// Readings recovered from the intact prefix of a torn payload
+    /// (instead of discarding the whole message with its tail).
+    std::uint64_t salvaged{0};
     /// Transient store-insert failures observed (each failed attempt).
     std::uint64_t store_errors{0};
     /// Insert re-attempts after a transient store error.
@@ -106,11 +113,11 @@ class CollectAgent {
   private:
     void on_publish(const mqtt::Publish& message);
 
-    /// Insert one reading with bounded retries (transient store errors
-    /// must not drop decoded data). Returns false after the last attempt
-    /// fails; the reading is then counted as a dead letter.
-    bool insert_with_retry(const SensorId& sid, const std::string& topic,
-                           const Reading& reading);
+    /// Insert a whole decoded batch with bounded retries (transient
+    /// store errors must not drop decoded data). The batch is the unit
+    /// of work: it lands atomically (one commit-log record) or, after
+    /// the last attempt fails, every reading in it is dead-lettered.
+    bool insert_batch_with_retry(std::span<const store::BatchEntry> batch);
 
     store::StoreCluster* cluster_;
     // Declared before every member that registers metrics into it.
@@ -134,6 +141,7 @@ class CollectAgent {
     telemetry::Counter& messages_;
     telemetry::Counter& readings_;
     telemetry::Counter& decode_errors_;
+    telemetry::Counter& decode_salvaged_;
     telemetry::Counter& store_errors_;
     telemetry::Counter& store_retries_;
     telemetry::Counter& dead_letters_;

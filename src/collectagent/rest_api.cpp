@@ -89,11 +89,12 @@ std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
                 const auto s = agent.stats();
                 return HttpResponse::ok(strfmt(
                     "messages %llu\nreadings %llu\ndecode_errors %llu\n"
-                    "store_errors %llu\nstore_retries %llu\n"
-                    "dead_letters %llu\nsensors %zu\n",
+                    "decode_salvaged %llu\nstore_errors %llu\n"
+                    "store_retries %llu\ndead_letters %llu\nsensors %zu\n",
                     static_cast<unsigned long long>(s.messages),
                     static_cast<unsigned long long>(s.readings),
                     static_cast<unsigned long long>(s.decode_errors),
+                    static_cast<unsigned long long>(s.salvaged),
                     static_cast<unsigned long long>(s.store_errors),
                     static_cast<unsigned long long>(s.store_retries),
                     static_cast<unsigned long long>(s.dead_letters),

@@ -1,5 +1,7 @@
 #include "core/payload.hpp"
 
+#include <algorithm>
+
 #include "common/bytebuf.hpp"
 
 namespace dcdb {
@@ -26,6 +28,91 @@ std::vector<Reading> decode_readings(std::span<const std::uint8_t> payload) {
         out.push_back(reading);
     }
     return out;
+}
+
+SalvagedReadings decode_readings_view(
+    std::span<const std::uint8_t> payload) noexcept {
+    SalvagedReadings out;
+    const std::size_t count = payload.size() / kReadingWireBytes;
+    out.readings = ReadingsView(
+        payload.first(count * kReadingWireBytes), count);
+    out.torn_bytes = payload.size() - count * kReadingWireBytes;
+    return out;
+}
+
+bool is_batch_payload(std::span<const std::uint8_t> payload) noexcept {
+    return payload.size() >= kBatchHeaderBytes &&
+           payload[0] == kBatchPayloadMagic &&
+           payload[1] == kBatchPayloadVersion;
+}
+
+std::vector<std::uint8_t> encode_batch(std::span<const SensorBatch> batches) {
+    if (batches.size() > 0xFFFF)
+        throw ProtocolError("batch payload: too many sections");
+    std::size_t reserve = kBatchHeaderBytes;
+    for (const auto& b : batches)
+        reserve += 2 + b.topic.size() + 4 +
+                   b.readings.size() * kReadingWireBytes;
+    ByteWriter w(reserve);
+    w.u8(kBatchPayloadMagic);
+    w.u8(kBatchPayloadVersion);
+    w.u16be(static_cast<std::uint16_t>(batches.size()));
+    for (const auto& b : batches) {
+        w.mqtt_str(b.topic);
+        w.u32be(static_cast<std::uint32_t>(b.readings.size()));
+        for (const auto& r : b.readings) {
+            w.u64be(r.ts);
+            w.i64be(r.value);
+        }
+    }
+    return w.take();
+}
+
+void decode_batch(std::span<const std::uint8_t> payload,
+                  BatchPayloadView& out) {
+    out.sections.clear();
+    out.total_readings = 0;
+    out.torn_bytes = 0;
+    if (!is_batch_payload(payload))
+        throw ProtocolError("not a v1 batch payload");
+    const std::uint16_t n_sections =
+        static_cast<std::uint16_t>((payload[2] << 8) | payload[3]);
+
+    std::size_t pos = kBatchHeaderBytes;
+    for (std::uint16_t s = 0; s < n_sections; ++s) {
+        // Section header: u16 topic length + topic + u32 reading count.
+        // A payload cut anywhere in here loses only the unreadable tail.
+        if (payload.size() - pos < 2) break;
+        const std::size_t topic_len =
+            static_cast<std::size_t>((payload[pos] << 8) | payload[pos + 1]);
+        if (payload.size() - pos < 2 + topic_len + 4) break;
+        const std::string_view topic(
+            reinterpret_cast<const char*>(payload.data() + pos + 2),
+            topic_len);
+        pos += 2 + topic_len;
+        std::uint32_t count = 0;
+        for (int b = 0; b < 4; ++b) count = (count << 8) | payload[pos + b];
+        pos += 4;
+
+        const std::size_t declared = count * kReadingWireBytes;
+        const std::size_t avail = payload.size() - pos;
+        const std::size_t take = std::min<std::size_t>(declared, avail);
+        const std::size_t whole = take / kReadingWireBytes;
+        if (whole > 0 || take == declared) {
+            SensorSectionView section;
+            section.topic = topic;
+            section.readings = ReadingsView(
+                payload.subspan(pos, whole * kReadingWireBytes), whole);
+            out.total_readings += whole;
+            out.sections.push_back(section);
+        }
+        if (take < declared) {  // truncated mid-section: stop here
+            pos += whole * kReadingWireBytes;
+            break;
+        }
+        pos += declared;
+    }
+    out.torn_bytes = payload.size() - pos;
 }
 
 }  // namespace dcdb

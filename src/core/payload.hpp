@@ -1,19 +1,44 @@
-// MQTT payload format for sensor readings.
+// MQTT payload formats for sensor readings.
 //
-// A Pusher batches the readings accumulated since the last send into one
-// PUBLISH per sensor (the real DCDB wire format: a flat array of
-// (timestamp, value) records). Each record is 16 bytes big-endian.
+// v0 (the original DCDB wire format): one PUBLISH per sensor carrying a
+// flat array of (timestamp, value) records, 16 bytes big-endian each.
+//
+// v1 (batch format): one PUBLISH per *read group*, coalescing every
+// sensor the group drained into length-prefixed per-sensor sections:
+//
+//   [header]   u8 magic 0xDB, u8 version 1, u16 section count
+//   [section]  u16 topic length, topic bytes,
+//              u32 reading count, count x 16-byte v0 records
+//
+// A v0 payload can never alias the v1 header: its first byte is the
+// most-significant byte of a nanosecond timestamp, and 0xDB there means
+// a date past the year 2400. Decoders therefore dispatch on the magic
+// and old single-sensor payloads keep decoding unchanged.
+//
+// Decoding is zero-copy: the *View types below are spans into the
+// payload buffer and materialize Reading values on access, so the
+// collect agent's hot path performs no per-reading allocation. The view
+// decoders also never throw on a torn tail — they expose the valid
+// record-aligned prefix plus the count of torn trailing bytes, letting
+// the caller salvage everything that survived (a single corrupt trailing
+// record must not discard a whole batch).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace dcdb {
 
-/// Serialize readings into an MQTT payload.
+inline constexpr std::size_t kReadingWireBytes = 16;
+inline constexpr std::uint8_t kBatchPayloadMagic = 0xDB;
+inline constexpr std::uint8_t kBatchPayloadVersion = 1;
+inline constexpr std::size_t kBatchHeaderBytes = 4;
+
+/// Serialize readings into a v0 MQTT payload.
 std::vector<std::uint8_t> encode_readings(std::span<const Reading> readings);
 
 inline std::vector<std::uint8_t> encode_readings(
@@ -22,10 +47,78 @@ inline std::vector<std::uint8_t> encode_readings(
         std::span<const Reading>(readings.begin(), readings.size()));
 }
 
-/// Parse an MQTT payload back into readings. Throws ProtocolError if the
-/// payload size is not a multiple of the record size.
+/// Parse a v0 MQTT payload back into readings. Throws ProtocolError if
+/// the payload size is not a multiple of the record size.
 std::vector<Reading> decode_readings(std::span<const std::uint8_t> payload);
 
-inline constexpr std::size_t kReadingWireBytes = 16;
+/// Zero-copy window over a run of 16-byte v0 reading records.
+/// Materializes each Reading on access; owns nothing.
+class ReadingsView {
+  public:
+    ReadingsView() = default;
+    ReadingsView(std::span<const std::uint8_t> records, std::size_t count)
+        : records_(records), count_(count) {}
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    Reading operator[](std::size_t i) const {
+        const std::uint8_t* p = records_.data() + i * kReadingWireBytes;
+        std::uint64_t ts = 0, value = 0;
+        for (int b = 0; b < 8; ++b) ts = (ts << 8) | p[b];
+        for (int b = 8; b < 16; ++b) value = (value << 8) | p[b];
+        return Reading{ts, static_cast<Value>(value)};
+    }
+
+  private:
+    std::span<const std::uint8_t> records_;
+    std::size_t count_{0};
+};
+
+/// Non-throwing v0 decode: the valid 16-byte-aligned prefix as a view,
+/// plus how many torn trailing bytes were cut off.
+struct SalvagedReadings {
+    ReadingsView readings;
+    std::size_t torn_bytes{0};
+};
+SalvagedReadings decode_readings_view(
+    std::span<const std::uint8_t> payload) noexcept;
+
+/// One sensor's slice of a v1 batch payload (span-backed, zero-copy).
+struct SensorSectionView {
+    std::string_view topic;
+    ReadingsView readings;
+};
+
+/// Decoded v1 batch payload. `sections` holds complete sections;
+/// `torn_bytes` counts trailing bytes lost to truncation mid-section
+/// (the record-aligned prefix of a torn section is salvaged into its
+/// own final section). The view borrows the payload buffer; it must not
+/// outlive it.
+struct BatchPayloadView {
+    std::vector<SensorSectionView> sections;
+    std::size_t total_readings{0};
+    std::size_t torn_bytes{0};
+};
+
+/// True when `payload` carries the v1 batch header.
+bool is_batch_payload(std::span<const std::uint8_t> payload) noexcept;
+
+/// One sensor's contribution to an outgoing batch.
+struct SensorBatch {
+    std::string_view topic;
+    std::span<const Reading> readings;
+};
+
+/// Serialize a v1 multi-sensor batch payload. Throws ProtocolError when
+/// a topic exceeds 64 KiB or more than 65535 sections are given.
+std::vector<std::uint8_t> encode_batch(std::span<const SensorBatch> batches);
+
+/// Decode a v1 batch payload into `out` (reusing its section storage —
+/// steady-state decoding allocates nothing). Throws ProtocolError when
+/// the header is malformed; a payload truncated mid-section does NOT
+/// throw: complete sections plus the salvageable prefix of the torn one
+/// are returned and the remainder is reported via `out.torn_bytes`.
+void decode_batch(std::span<const std::uint8_t> payload,
+                  BatchPayloadView& out);
 
 }  // namespace dcdb

@@ -19,9 +19,12 @@ MqttPusher::MqttPusher(ClientProvider client_provider,
       publish_failures_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .counter("pusher.push.failures")),
-      retry_publishes_(
+      retry_attempts_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
-              .counter("pusher.push.retry.publishes")),
+              .counter("pusher.push.retry.attempts")),
+      retry_successes_(
+          telemetry::resolve_registry(config_.registry, owned_registry_)
+              .counter("pusher.push.retry.successes")),
       readings_requeued_(
           telemetry::resolve_registry(config_.registry, owned_registry_)
               .counter("pusher.push.requeued")),
@@ -117,11 +120,14 @@ std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
     std::size_t sent = 0;
     while (!retry_queue_.empty()) {
         PendingBatch& batch = retry_queue_.front();
-        retry_publishes_.add(1);
+        // Attempt counted before, success only after: a batch failing N
+        // times must read as N attempts / 0 successes, not N publishes.
+        retry_attempts_.add(1);
         if (!publish_batch(client, batch.topic, batch.readings)) {
             bump_backoff_locked();  // still failing: wait longer
             return sent;
         }
+        retry_successes_.add(1);
         retry_readings_.sub(static_cast<std::int64_t>(batch.readings.size()));
         retry_queue_.pop_front();
         retry_batches_.set(static_cast<std::int64_t>(retry_queue_.size()));
@@ -131,23 +137,75 @@ std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
     return sent;
 }
 
+void MqttPusher::publish_coalesced(mqtt::MqttClient* client,
+                                   std::vector<PendingBatch>& drained,
+                                   std::size_t& sent) {
+    if (drained.empty()) return;
+    if (drained.size() == 1) {
+        // A lone sensor keeps the v0 single-sensor payload: no batching
+        // overhead, and old agents keep decoding it.
+        if (publish_batch(client, drained.front().topic,
+                          drained.front().readings)) {
+            ++sent;
+        } else {
+            requeue(std::move(drained.front().topic),
+                    std::move(drained.front().readings));
+        }
+        return;
+    }
+
+    std::vector<SensorBatch> sections;
+    sections.reserve(drained.size());
+    std::size_t total = 0;
+    for (const auto& batch : drained) {
+        sections.push_back(SensorBatch{batch.topic, batch.readings});
+        total += batch.readings.size();
+    }
+    try {
+        // The message topic is informational for a batch payload (the
+        // agent routes on the per-section topics); the first sensor's
+        // topic keeps broker-side accounting meaningful.
+        client->publish(drained.front().topic, encode_batch(sections),
+                        config_.qos);
+    } catch (const std::exception& e) {
+        publish_failures_.add(1);
+        DCDB_DEBUG("pusher") << "coalesced publish of " << drained.size()
+                             << " sensors failed: " << e.what();
+        // Re-enter the retry path sensor-at-a-time so the queue bound
+        // and per-sensor ordering semantics stay exactly as before.
+        for (auto& batch : drained)
+            requeue(std::move(batch.topic), std::move(batch.readings));
+        return;
+    }
+    readings_.add(total);
+    messages_.add(1);
+    ++sent;
+}
+
 std::size_t MqttPusher::push_once() {
     mqtt::MqttClient* client = client_provider_();
     if (!client) return 0;  // agent unreachable; retry next round
     // Backlog first: keeps per-sensor batches arriving in send order.
     std::size_t sent = flush_retries(client, /*ignore_backoff=*/false);
+    std::vector<PendingBatch> drained;
     for (const auto& plugin : *plugins_) {
         for (const auto& group : plugin->groups()) {
+            drained.clear();
             for (const auto& sensor : group->sensors()) {
                 if (sensor->pending_count() == 0) continue;
                 auto readings = sensor->drain_pending();
                 if (readings.empty()) continue;
-                if (publish_batch(client, sensor->topic(), readings)) {
+                if (config_.coalesce) {
+                    drained.push_back(
+                        PendingBatch{sensor->topic(), std::move(readings)});
+                } else if (publish_batch(client, sensor->topic(),
+                                         readings)) {
                     ++sent;
                 } else {
                     requeue(sensor->topic(), std::move(readings));
                 }
             }
+            publish_coalesced(client, drained, sent);
         }
     }
     return sent;
@@ -158,7 +216,8 @@ MqttPusherStats MqttPusher::stats() const {
     s.readings_pushed = readings_.value();
     s.messages_sent = messages_.value();
     s.publish_failures = publish_failures_.value();
-    s.retry_publishes = retry_publishes_.value();
+    s.retry_attempts = retry_attempts_.value();
+    s.retry_successes = retry_successes_.value();
     s.readings_requeued = readings_requeued_.value();
     s.readings_dropped = readings_dropped_.value();
     s.retry_queue_batches =

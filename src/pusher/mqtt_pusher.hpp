@@ -40,6 +40,13 @@ struct MqttPusherConfig {
     TimestampNs burst_interval_ns{30 * kNsPerSec};
     std::uint8_t qos{0};
     std::uint64_t stagger_seed{0};  // derives the random send stagger
+    /// Coalesce each sensor group's drained readings into ONE
+    /// multi-sensor batch payload (core/payload.hpp v1) per push round
+    /// instead of one PUBLISH per sensor. A group with a single drained
+    /// sensor keeps the v0 single-sensor payload. Failed coalesced
+    /// publishes re-enter the retry queue as per-sensor batches, so the
+    /// retry bound and ordering guarantees are unchanged.
+    bool coalesce{true};
     /// Retry queue bound, in batches (one batch = one drained sensor).
     /// Oldest batches are dropped beyond this — DCDB favours fresh data.
     std::size_t retry_max_batches{1024};
@@ -55,7 +62,11 @@ struct MqttPusherStats {
     std::uint64_t readings_pushed{0};   // successfully published only
     std::uint64_t messages_sent{0};     // successfully published only
     std::uint64_t publish_failures{0};  // failed publish attempts
-    std::uint64_t retry_publishes{0};   // publish attempts from the queue
+    /// Publish attempts from the retry queue and how many of them
+    /// succeeded — distinct counters: a batch that fails N times must
+    /// not be indistinguishable from N successful retries.
+    std::uint64_t retry_attempts{0};
+    std::uint64_t retry_successes{0};
     std::uint64_t readings_requeued{0};
     std::uint64_t readings_dropped{0};  // lost to the queue bound
     std::size_t retry_queue_batches{0};
@@ -98,6 +109,12 @@ class MqttPusher {
     /// instead of throwing so callers can re-queue.
     bool publish_batch(mqtt::MqttClient* client, const std::string& topic,
                        const std::vector<Reading>& readings);
+    /// Publish a whole group's drained sensors as one coalesced
+    /// multi-sensor payload; on failure each sensor's batch is requeued
+    /// individually.
+    void publish_coalesced(mqtt::MqttClient* client,
+                           std::vector<PendingBatch>& drained,
+                           std::size_t& sent);
     void requeue(std::string topic, std::vector<Reading> readings)
         DCDB_EXCLUDES(retry_mutex_);
     std::size_t flush_retries(mqtt::MqttClient* client, bool ignore_backoff)
@@ -111,7 +128,8 @@ class MqttPusher {
     telemetry::Counter& readings_;
     telemetry::Counter& messages_;
     telemetry::Counter& publish_failures_;
-    telemetry::Counter& retry_publishes_;
+    telemetry::Counter& retry_attempts_;
+    telemetry::Counter& retry_successes_;
     telemetry::Counter& readings_requeued_;
     telemetry::Counter& readings_dropped_;
     // Queue-depth gauges: updated under retry_mutex_ but readable by

@@ -68,6 +68,7 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         mc.burst_mode = config_.get_bool_or("global.burstMode", false);
         mc.qos = static_cast<std::uint8_t>(
             config_.get_i64_or("global.qos", 0));
+        mc.coalesce = config_.get_bool_or("global.coalescePush", true);
         mc.stagger_seed = std::hash<std::string>{}(topic_prefix_);
         mc.retry_max_batches = static_cast<std::size_t>(
             config_.get_u64_or("global.retryQueueMax", 1024));
@@ -239,7 +240,8 @@ PusherStats Pusher::stats() const {
         s.readings_pushed = ms.readings_pushed;
         s.messages_sent = ms.messages_sent;
         s.publish_failures = ms.publish_failures;
-        s.retry_publishes = ms.retry_publishes;
+        s.retry_attempts = ms.retry_attempts;
+        s.retry_successes = ms.retry_successes;
         s.readings_requeued = ms.readings_requeued;
         s.readings_dropped = ms.readings_dropped;
         s.retry_queue_batches = ms.retry_queue_batches;

@@ -12,6 +12,7 @@
 //       cacheWindow  2m               ; sensor cache history
 //       pushInterval 1s
 //       burstMode    false            ; send 2x/minute instead
+//       coalescePush true             ; one multi-sensor payload per group
 //       qos          0
 //       restApi      true
 //   }
@@ -48,7 +49,8 @@ struct PusherStats {
     std::size_t cache_bytes{0};
     // Delivery-reliability counters (see MqttPusherStats).
     std::uint64_t publish_failures{0};
-    std::uint64_t retry_publishes{0};
+    std::uint64_t retry_attempts{0};
+    std::uint64_t retry_successes{0};
     std::uint64_t readings_requeued{0};
     std::uint64_t readings_dropped{0};
     std::size_t retry_queue_batches{0};

@@ -92,7 +92,8 @@ HttpResponse handle_stats(Pusher& pusher) {
        << "readings_pushed " << s.readings_pushed << "\n"
        << "messages_sent " << s.messages_sent << "\n"
        << "publish_failures " << s.publish_failures << "\n"
-       << "retry_publishes " << s.retry_publishes << "\n"
+       << "retry_attempts " << s.retry_attempts << "\n"
+       << "retry_successes " << s.retry_successes << "\n"
        << "readings_requeued " << s.readings_requeued << "\n"
        << "readings_dropped " << s.readings_dropped << "\n"
        << "retry_queue_batches " << s.retry_queue_batches << "\n"

@@ -50,6 +50,34 @@ void StoreCluster::insert(const Key& key, TimestampNs ts, Value value,
         local_writes_.add(1);
 }
 
+void StoreCluster::insert_batch(std::span<const BatchEntry> entries,
+                                int local_hint) {
+    if (entries.empty()) return;
+
+    // Group per destination node so each node sees one insert_batch
+    // call (one lock acquisition, one commit-log record) per replica
+    // sweep. thread_local keeps the steady-state path allocation-free;
+    // agent session threads each get their own buckets.
+    thread_local std::vector<std::vector<BatchEntry>> buckets;
+    if (buckets.size() < nodes_.size()) buckets.resize(nodes_.size());
+    for (auto& bucket : buckets) bucket.clear();
+
+    std::uint64_t local = 0;
+    for (const auto& entry : entries) {
+        const std::size_t primary = primary_node(entry.key);
+        if (local_hint >= 0 &&
+            static_cast<std::size_t>(local_hint) == primary)
+            ++local;
+        for (std::size_t r = 0; r < config_.replication; ++r)
+            buckets[(primary + r) % nodes_.size()].push_back(entry);
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (!buckets[i].empty()) nodes_[i]->insert_batch(buckets[i]);
+
+    total_writes_.add(entries.size());
+    if (local > 0) local_writes_.add(local);
+}
+
 std::vector<Row> StoreCluster::query(const Key& key, TimestampNs t0,
                                      TimestampNs t1) const {
     return nodes_[primary_node(key)]->query(key, t0, t1);

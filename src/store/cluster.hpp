@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +66,15 @@ class StoreCluster {
     /// locality accounting (the paper's "nearest server" claim).
     void insert(const Key& key, TimestampNs ts, Value value,
                 std::uint32_t ttl_s = 0, int local_hint = -1);
+
+    /// Batched insert: entries are routed per key, grouped by
+    /// destination node, and each group lands via
+    /// StorageNode::insert_batch — one writer-lock acquisition and one
+    /// commit-log record per (node, replica) touched, instead of one
+    /// per reading. Write accounting stays in readings, matching
+    /// insert().
+    void insert_batch(std::span<const BatchEntry> entries,
+                      int local_hint = -1);
 
     /// Query the primary replica.
     std::vector<Row> query(const Key& key, TimestampNs t0,

@@ -5,10 +5,28 @@
 // valid prefix so the caller can truncate the torn tail before reopening
 // the log in append mode — otherwise post-crash appends would land after
 // garbage and be unreachable on the next replay.
+//
+// Two on-disk formats coexist:
+//
+//   legacy  — no file header; one 44-byte record per row:
+//               key(20) + ts(8) + value(8) + expiry(4) + crc(4).
+//   v2      — 8-byte file header (u32 magic 'DCL2', u32 version 2); one
+//             record per *batch*:
+//               u32 count + count x (key(20) + ts(8) + value(8) +
+//               expiry(4)) + crc(4)
+//             with the crc covering the count and every entry. A batch
+//             is atomic under crash: replay either delivers all of its
+//             rows or (torn/corrupt) none, and a torn batch ends replay.
+//
+// A log opened over an existing legacy file keeps appending legacy
+// records — rewriting the header in place would orphan the records
+// behind it — and converts to v2 at the next reset() (i.e. after the
+// first successful memtable flush). New/empty logs start as v2.
 #pragma once
 
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <string>
 
 #include "common/mutex.hpp"
@@ -17,6 +35,14 @@
 #include "telemetry/metrics.hpp"
 
 namespace dcdb::store {
+
+/// One commit-log entry: the key carries the time bucket, so entries of
+/// a single batch may address different partitions (and, upstream,
+/// different sensors).
+struct KeyedRow {
+    Key key;
+    Row row;
+};
 
 class CommitLog {
   public:
@@ -29,35 +55,47 @@ class CommitLog {
 
     void append(const Key& key, const Row& row) DCDB_EXCLUDES(mutex_);
 
+    /// Append a whole batch as ONE checksummed record (v2 logs): one
+    /// lock acquisition, one buffered write, crash-atomic. On a legacy
+    /// log this degrades to a loop of legacy records.
+    void append_batch(std::span<const KeyedRow> entries)
+        DCDB_EXCLUDES(mutex_);
+
     /// Durable flush: fflush to the OS, then fdatasync to the device.
     /// This is the crash-durability point — Cassandra's "batch" sync
     /// level; StorageNode calls it every commitlog_sync_every appends.
     void sync() DCDB_EXCLUDES(mutex_);
 
-    /// Truncate after a successful memtable flush.
+    /// Truncate after a successful memtable flush. The truncated log is
+    /// (re)written with a v2 header.
     void reset() DCDB_EXCLUDES(mutex_);
 
     const std::string& path() const { return path_; }
-    /// Records in the current log (resets with the log on truncation).
+    /// Rows in the current log (resets with the log on truncation).
     std::uint64_t records_appended() const {
         return static_cast<std::uint64_t>(records_.value());
     }
     std::uint64_t syncs() const { return syncs_.value(); }
 
     struct ReplayResult {
-        std::uint64_t records{0};      // intact records recovered
+        std::uint64_t records{0};      // intact rows recovered
         std::uint64_t valid_bytes{0};  // offset of the first torn byte
     };
 
     /// Replay a log file in append order; `apply` is invoked for each
-    /// intact record. Replay stops at the first corrupt or short record.
+    /// intact row. Replay stops at the first corrupt or short record.
+    /// Dispatches on the file header, so both formats replay.
     static ReplayResult replay(
         const std::string& path,
         const std::function<void(const Key&, const Row&)>& apply);
 
   private:
+    void append_batch_locked(std::span<const KeyedRow> entries)
+        DCDB_REQUIRES(mutex_);
+
     std::string path_;
     std::FILE* file_ DCDB_PT_GUARDED_BY(mutex_){nullptr};
+    bool v2_ DCDB_GUARDED_BY(mutex_){false};
     dcdb::Mutex mutex_;
     // Read by stats paths without the mutex. records_ is a gauge: it
     // drops back to zero when reset() truncates the log.

@@ -117,9 +117,18 @@ std::string StorageNode::sstable_path(std::uint64_t generation) const {
 
 void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
                          std::uint32_t ttl_s) {
+    const BatchEntry entry{key, ts, value, ttl_s};
+    insert_batch(std::span<const BatchEntry>(&entry, 1));
+}
+
+void StorageNode::insert_batch(std::span<const BatchEntry> entries) {
+    if (entries.empty()) return;
+
     // Fault hook: errors model a transiently failing storage server
     // (callers are expected to retry), drops model silent write loss
-    // (exists so loss-detection tests can prove they detect it).
+    // (exists so loss-detection tests can prove they detect it). One
+    // roll per batch: the batch fails or lands as a unit, mirroring the
+    // crash atomicity of its single commit-log record.
     auto& injector = FaultInjector::instance();
     switch (injector.roll(FaultPoint::kStoreInsert)) {
         case FaultAction::kNone:
@@ -135,27 +144,39 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
             break;
     }
 
-    Row row;
-    row.ts = ts;
-    row.value = value;
-    row.expiry_s =
-        ttl_s == 0
-            ? 0
-            : static_cast<std::uint32_t>(ts / kNsPerSec + ttl_s);
+    // Expiry math happens outside the writer lock; the scratch is
+    // thread_local so the steady-state batch path does not allocate.
+    thread_local std::vector<KeyedRow> scratch;
+    scratch.clear();
+    scratch.reserve(entries.size());
+    for (const auto& e : entries) {
+        Row row;
+        row.ts = e.ts;
+        row.value = e.value;
+        row.expiry_s =
+            e.ttl_s == 0
+                ? 0
+                : static_cast<std::uint32_t>(e.ts / kNsPerSec + e.ttl_s);
+        scratch.push_back(KeyedRow{e.key, row});
+    }
 
     WriterLock lock(mutex_);
     if (commitlog_) {
-        commitlog_->append(key, row);
+        commitlog_->append_batch(scratch);
+        // The sync cadence counts rows, not batches: the durability
+        // contract ("lose at most commitlog_sync_every readings") must
+        // not widen just because the writer batched.
+        appends_since_sync_ += entries.size();
         if (config_.commitlog_sync_every != 0 &&
-            ++appends_since_sync_ >= config_.commitlog_sync_every) {
+            appends_since_sync_ >= config_.commitlog_sync_every) {
             const TimestampNs sync_start = steady_ns();
             commitlog_->sync();
             commitlog_sync_latency_.record(steady_ns() - sync_start);
             appends_since_sync_ = 0;
         }
     }
-    memtable_.insert(key, row);
-    writes_.add(1);
+    for (const auto& kr : scratch) memtable_.insert(kr.key, kr.row);
+    writes_.add(entries.size());
     if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
         flush_locked();
 }

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,16 @@ struct NodeConfig {
     std::string metric_prefix{"store"};
 };
 
+/// One reading of a batched insert; `ttl_s` 0 means no expiry. Entries
+/// of one batch may address different keys (the key's time bucket is
+/// derived per reading, and an agent batch spans sensors).
+struct BatchEntry {
+    Key key;
+    TimestampNs ts{0};
+    Value value{0};
+    std::uint32_t ttl_s{0};
+};
+
 struct NodeStats {
     std::uint64_t writes{0};
     std::uint64_t reads{0};
@@ -71,9 +82,17 @@ class StorageNode {
     StorageNode& operator=(const StorageNode&) = delete;
 
     /// Insert one reading; `ttl_s` 0 means no expiry. Triggers a memtable
-    /// flush when the configured threshold is crossed.
+    /// flush when the configured threshold is crossed. Implemented as a
+    /// batch of one — insert_batch is the only write path.
     void insert(const Key& key, TimestampNs ts, Value value,
                 std::uint32_t ttl_s = 0) DCDB_EXCLUDES(mutex_);
+
+    /// Insert a whole batch under ONE writer-lock acquisition and ONE
+    /// commit-log record (crash-atomic: replay delivers all of the
+    /// batch's rows or none). The fault hook rolls once per batch —
+    /// a batch is the unit of work, so it fails or lands as a unit.
+    void insert_batch(std::span<const BatchEntry> entries)
+        DCDB_EXCLUDES(mutex_);
 
     /// Merged view over memtable and SSTables, newest write wins per
     /// timestamp; expired rows are filtered. Results sorted by timestamp.

@@ -14,18 +14,12 @@ namespace dcdb::store {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x44535354;  // 'DSST'
+constexpr std::uint32_t kMagicV1 = 0x44535354;  // 'DSST'
+constexpr std::uint32_t kMagicV2 = 0x44535432;  // 'DST2'
 constexpr std::size_t kFooterBytes = 8 + 8 + 8 + 8 + 4;
-
-void encode_row(const Row& r, std::uint8_t out[Row::kBytes]) {
-    for (int i = 0; i < 8; ++i)
-        out[i] = static_cast<std::uint8_t>(r.ts >> (56 - 8 * i));
-    const auto v = static_cast<std::uint64_t>(r.value);
-    for (int i = 0; i < 8; ++i)
-        out[8 + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
-    for (int i = 0; i < 4; ++i)
-        out[16 + i] = static_cast<std::uint8_t>(r.expiry_s >> (24 - 8 * i));
-}
+// v2 index: per-partition head + per-block directory entry.
+constexpr std::size_t kEntryHeadBytes = Key::kBytes + 8 + 8 + 8 + 8 + 4;
+constexpr std::size_t kBlockDirBytes = 1 + 4 + 4 + 8 + 8;
 
 Row read_row(ByteReader& r) {
     Row row;
@@ -89,6 +83,7 @@ SsTableWriter::SsTableWriter(std::string path, std::uint64_t generation,
       bloom_(std::max<std::size_t>(expected_partitions, 1)) {
     file_ = std::fopen(tmp_path_.c_str(), "wb");
     if (!file_) throw StoreError("cannot create " + tmp_path_);
+    block_rows_.reserve(kBlockRows);
 }
 
 SsTableWriter::~SsTableWriter() {
@@ -121,15 +116,30 @@ void SsTableWriter::add_row(const Row& row) {
     e.max_ts = row.ts;
     ++e.rows;
     ++rows_written_;
-    std::uint8_t buf[Row::kBytes];
-    encode_row(row, buf);
-    put(buf, sizeof buf);
+    block_rows_.push_back(row);
+    if (block_rows_.size() >= kBlockRows) flush_block();
+}
+
+void SsTableWriter::flush_block() {
+    if (block_rows_.empty()) return;
+    block_bytes_.clear();
+    const BlockFormat format = encode_rows_best(block_rows_, block_bytes_);
+    PendingBlock block;
+    block.format = format;
+    block.rows = static_cast<std::uint32_t>(block_rows_.size());
+    block.bytes = static_cast<std::uint32_t>(block_bytes_.size());
+    block.min_ts = block_rows_.front().ts;
+    block.max_ts = block_rows_.back().ts;
+    put(block_bytes_.data(), block_bytes_.size());
+    index_.back().blocks.push_back(block);
+    block_rows_.clear();
 }
 
 void SsTableWriter::end_partition() {
     if (!in_partition_)
         throw StoreError("end_partition without begin in " + tmp_path_);
     in_partition_ = false;
+    flush_block();
     if (index_.back().rows == 0) {
         index_.pop_back();  // empty partitions are omitted
         return;
@@ -153,6 +163,14 @@ std::unique_ptr<SsTable> SsTableWriter::finish() {
         tail.u64be(e.rows);
         tail.u64be(e.min_ts);
         tail.u64be(e.max_ts);
+        tail.u32be(static_cast<std::uint32_t>(e.blocks.size()));
+        for (const auto& b : e.blocks) {
+            tail.u8(static_cast<std::uint8_t>(b.format));
+            tail.u32be(b.rows);
+            tail.u32be(b.bytes);
+            tail.u64be(b.min_ts);
+            tail.u64be(b.max_ts);
+        }
     }
     const std::uint64_t bloom_offset = index_offset + tail.size();
     tail.u32be(bloom_.hash_count());
@@ -162,7 +180,7 @@ std::unique_ptr<SsTable> SsTableWriter::finish() {
     tail.u64be(bloom_offset);
     tail.u64be(index_.size());
     tail.u64be(generation_);
-    tail.u32be(kMagic);
+    tail.u32be(kMagicV2);
     put(tail.data().data(), tail.size());
 
     // Durability ordering: the data must be on the device before the
@@ -212,11 +230,16 @@ std::unique_ptr<SsTable> SsTable::open(const std::string& path) {
     const std::uint64_t bloom_offset = fr.u64be();
     const std::uint64_t n_partitions = fr.u64be();
     table->generation_ = fr.u64be();
-    if (fr.u32be() != kMagic) throw StoreError("bad magic in " + path);
+    const std::uint32_t magic = fr.u32be();
+    if (magic != kMagicV1 && magic != kMagicV2)
+        throw StoreError("bad magic in " + path);
+    if (index_offset > bloom_offset ||
+        bloom_offset > static_cast<std::uint64_t>(size) - kFooterBytes)
+        throw StoreError("bad section offsets in " + path);
+    table->data_bytes_ = index_offset;
 
     // Index section.
-    constexpr std::size_t kEntryBytes = Key::kBytes + 4 * 8;
-    std::vector<std::uint8_t> raw(n_partitions * kEntryBytes);
+    std::vector<std::uint8_t> raw(bloom_offset - index_offset);
     if (!raw.empty())
         pread_exact(table->fd_, raw.data(), raw.size(), index_offset, path);
     ByteReader ir(raw);
@@ -229,7 +252,36 @@ std::unique_ptr<SsTable> SsTable::open(const std::string& path) {
         e.rows = ir.u64be();
         e.min_ts = ir.u64be();
         e.max_ts = ir.u64be();
-        table->index_.push_back(e);
+        if (magic == kMagicV2) {
+            const std::uint32_t n_blocks = ir.u32be();
+            e.blocks.reserve(n_blocks);
+            std::uint64_t rel_offset = 0, first_row = 0;
+            for (std::uint32_t b = 0; b < n_blocks; ++b) {
+                BlockRef block;
+                block.format = static_cast<BlockFormat>(ir.u8());
+                block.rows = ir.u32be();
+                block.bytes = ir.u32be();
+                block.min_ts = ir.u64be();
+                block.max_ts = ir.u64be();
+                block.rel_offset = rel_offset;
+                block.first_row = first_row;
+                rel_offset += block.bytes;
+                first_row += block.rows;
+                e.blocks.push_back(block);
+            }
+            if (first_row != e.rows)
+                throw StoreError("block directory row mismatch in " + path);
+        } else {
+            // v1: the whole partition is one raw block.
+            BlockRef block;
+            block.format = BlockFormat::kRaw;
+            block.rows = e.rows;
+            block.bytes = e.rows * Row::kBytes;
+            block.min_ts = e.min_ts;
+            block.max_ts = e.max_ts;
+            e.blocks.push_back(block);
+        }
+        table->index_.push_back(std::move(e));
     }
 
     // Bloom section.
@@ -266,14 +318,55 @@ bool SsTable::may_contain(const Key& key) const {
     return bloom_->may_contain(kb);
 }
 
+void SsTable::read_block(const IndexEntry& entry, const BlockRef& block,
+                         std::vector<Row>& out) const {
+    std::vector<std::uint8_t> raw(block.bytes);
+    if (!raw.empty())
+        pread_exact(fd_, raw.data(), raw.size(),
+                    entry.offset + block.rel_offset, path_);
+    decode_rows(block.format, raw, static_cast<std::size_t>(block.rows),
+                out);
+}
+
 void SsTable::read_rows(const IndexEntry& entry, std::size_t first_row,
                         std::size_t n, std::vector<Row>& out) const {
-    std::vector<std::uint8_t> raw(n * Row::kBytes);
-    if (raw.empty()) return;
-    pread_exact(fd_, raw.data(), raw.size(),
-                entry.offset + first_row * Row::kBytes, path_);
-    ByteReader r(raw);
-    for (std::size_t i = 0; i < n; ++i) out.push_back(read_row(r));
+    if (n == 0) return;
+    const std::uint64_t want_first = first_row;
+    const std::uint64_t want_end = first_row + n;
+
+    // First block whose row range reaches want_first.
+    auto it = std::upper_bound(
+        entry.blocks.begin(), entry.blocks.end(), want_first,
+        [](std::uint64_t row, const BlockRef& b) { return row < b.first_row; });
+    if (it != entry.blocks.begin()) --it;
+
+    std::vector<Row> scratch;
+    for (; it != entry.blocks.end() && it->first_row < want_end; ++it) {
+        const BlockRef& block = *it;
+        const std::uint64_t lo =
+            std::max<std::uint64_t>(want_first, block.first_row);
+        const std::uint64_t hi =
+            std::min<std::uint64_t>(want_end, block.first_row + block.rows);
+        if (lo >= hi) continue;
+        if (block.format == BlockFormat::kRaw) {
+            // Random access within the raw block: read only what we need.
+            const std::size_t count = static_cast<std::size_t>(hi - lo);
+            std::vector<std::uint8_t> raw(count * Row::kBytes);
+            pread_exact(fd_, raw.data(), raw.size(),
+                        entry.offset + block.rel_offset +
+                            (lo - block.first_row) * Row::kBytes,
+                        path_);
+            ByteReader r(raw);
+            for (std::size_t i = 0; i < count; ++i)
+                out.push_back(read_row(r));
+        } else {
+            scratch.clear();
+            read_block(entry, block, scratch);
+            for (std::uint64_t i = lo - block.first_row;
+                 i < hi - block.first_row; ++i)
+                out.push_back(scratch[static_cast<std::size_t>(i)]);
+        }
+    }
 }
 
 void SsTable::read_partition_rows(std::size_t partition,
@@ -282,18 +375,19 @@ void SsTable::read_partition_rows(std::size_t partition,
     read_rows(index_[partition], first_row, n, out);
 }
 
-void SsTable::query(const Key& key, TimestampNs t0, TimestampNs t1,
-                    std::vector<Row>& out) const {
-    const IndexEntry* entry = find_entry(key);
-    if (!entry || entry->min_ts > t1 || entry->max_ts < t0) return;
-
+void SsTable::query_raw_block(const IndexEntry& entry, const BlockRef& block,
+                              TimestampNs t0, TimestampNs t1,
+                              std::vector<Row>& out) const {
     // Binary search for the first row >= t0 using fixed-size records.
-    std::size_t lo = 0, hi = entry->rows;
+    // (v1 partitions arrive here as one arbitrarily large raw block, so
+    // this path must stay sublinear in block size.)
+    const std::uint64_t base = entry.offset + block.rel_offset;
+    std::uint64_t lo = 0, hi = block.rows;
     std::uint8_t rowbuf[Row::kBytes];
     while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        pread_exact(fd_, rowbuf, sizeof rowbuf,
-                    entry->offset + mid * Row::kBytes, path_);
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        pread_exact(fd_, rowbuf, sizeof rowbuf, base + mid * Row::kBytes,
+                    path_);
         ByteReader r(rowbuf);
         if (r.u64be() < t0)
             lo = mid + 1;
@@ -302,17 +396,44 @@ void SsTable::query(const Key& key, TimestampNs t0, TimestampNs t1,
     }
 
     // Read forward until past t1 (in chunks to bound memory).
-    constexpr std::size_t kChunk = 4096;
+    constexpr std::uint64_t kChunk = 4096;
     std::vector<Row> chunk;
-    for (std::size_t i = lo; i < entry->rows;) {
-        const std::size_t n = std::min(kChunk, entry->rows - i);
+    for (std::uint64_t i = lo; i < block.rows;) {
+        const std::uint64_t n = std::min(kChunk, block.rows - i);
         chunk.clear();
-        read_rows(*entry, i, n, chunk);
+        std::vector<std::uint8_t> raw(static_cast<std::size_t>(n) *
+                                      Row::kBytes);
+        pread_exact(fd_, raw.data(), raw.size(), base + i * Row::kBytes,
+                    path_);
+        ByteReader r(raw);
+        for (std::uint64_t j = 0; j < n; ++j) chunk.push_back(read_row(r));
         for (const auto& row : chunk) {
             if (row.ts > t1) return;
             out.push_back(row);
         }
         i += n;
+    }
+}
+
+void SsTable::query(const Key& key, TimestampNs t0, TimestampNs t1,
+                    std::vector<Row>& out) const {
+    const IndexEntry* entry = find_entry(key);
+    if (!entry || entry->min_ts > t1 || entry->max_ts < t0) return;
+
+    std::vector<Row> scratch;
+    for (const auto& block : entry->blocks) {
+        if (block.min_ts > t1) break;  // blocks ascend in ts
+        if (block.max_ts < t0) continue;
+        if (block.format == BlockFormat::kRaw) {
+            query_raw_block(*entry, block, t0, t1, out);
+        } else {
+            scratch.clear();
+            read_block(*entry, block, scratch);
+            for (const auto& row : scratch) {
+                if (row.ts > t1) break;
+                if (row.ts >= t0) out.push_back(row);
+            }
+        }
     }
 }
 
@@ -326,7 +447,8 @@ std::vector<Key> SsTable::keys() const {
 std::vector<Row> SsTable::read_partition(const Key& key) const {
     std::vector<Row> out;
     const IndexEntry* entry = find_entry(key);
-    if (entry) read_rows(*entry, 0, entry->rows, out);
+    if (entry)
+        read_rows(*entry, 0, static_cast<std::size_t>(entry->rows), out);
     return out;
 }
 

@@ -1,17 +1,29 @@
 // Immutable on-disk sorted string table.
 //
-// File layout (all integers big-endian):
+// v2 file layout (all integers big-endian):
 //
-//   [data]    per partition, in key order:
-//               rows: (u64 ts, i64 value, u32 expiry_s) sorted by ts
+//   [data]    per partition, in key order: a sequence of *blocks* of up
+//               to kBlockRows rows each (sorted by ts). Every block is
+//               independently encoded as raw fixed-size rows or
+//               Gorilla-compressed (store/tsblock.hpp) — whichever is
+//               smaller — and the choice is recorded per block in the
+//               index, not in the data stream.
 //   [index]   per partition: key (20B), u64 data offset, u64 row count,
-//               u64 min_ts, u64 max_ts
+//               u64 min_ts, u64 max_ts, u32 block count, then per block:
+//               u8 format, u32 rows, u32 payload bytes, u64 min_ts,
+//               u64 max_ts
 //   [bloom]   u32 hash count, u64 word count, words
 //   [footer]  u64 index offset, u64 bloom offset, u64 partition count,
-//               u64 generation, u32 magic 'DSST'
+//               u64 generation, u32 magic 'DST2'
+//
+// v1 files (magic 'DSST', fixed 20-byte rows, no block directory) are
+// still opened: each v1 partition is surfaced as a single raw block, so
+// every read path — query, compaction cursors — is format-agnostic.
+// Writers always produce v2; v1 disappears through normal compaction.
 //
 // The index and bloom filter are loaded at open; row data is served with
-// pread, so a table costs O(partitions) memory regardless of row volume.
+// pread, so a table costs O(partitions + blocks) memory regardless of
+// row volume.
 //
 // Durability ordering (DESIGN.md §9): tables are written to `path.tmp`,
 // fsynced, renamed into place, and the parent directory is fsynced —
@@ -29,8 +41,14 @@
 #include "store/bloom.hpp"
 #include "store/key.hpp"
 #include "store/row.hpp"
+#include "store/tsblock.hpp"
 
 namespace dcdb::store {
+
+/// Rows per data block: small enough that decoding one compressed block
+/// stays cheap on point queries, large enough to amortize the block
+/// directory entry (~25 bytes) into noise.
+inline constexpr std::size_t kBlockRows = 512;
 
 class SsTable {
   public:
@@ -39,7 +57,7 @@ class SsTable {
         const std::string& path, std::uint64_t generation,
         const std::map<Key, std::vector<Row>>& partitions);
 
-    /// Open an existing table (loads index + bloom).
+    /// Open an existing table (loads index + bloom; v1 and v2 files).
     static std::unique_ptr<SsTable> open(const std::string& path);
 
     ~SsTable();
@@ -81,33 +99,55 @@ class SsTable {
     std::uint64_t row_count() const;
     const std::string& path() const { return path_; }
     std::uint64_t file_bytes() const { return file_bytes_; }
+    /// Bytes of the data region (everything before the index) — the
+    /// compressed row payload, for bytes-per-reading accounting.
+    std::uint64_t data_bytes() const { return data_bytes_; }
 
   private:
+    struct BlockRef {
+        BlockFormat format{BlockFormat::kRaw};
+        std::uint64_t rows{0};
+        std::uint64_t bytes{0};       // payload bytes on disk
+        std::uint64_t rel_offset{0};  // from the partition's data offset
+        std::uint64_t first_row{0};   // cumulative row index
+        TimestampNs min_ts{0};
+        TimestampNs max_ts{0};
+    };
+
     struct IndexEntry {
         Key key;
         std::uint64_t offset;
         std::uint64_t rows;
         TimestampNs min_ts;
         TimestampNs max_ts;
+        std::vector<BlockRef> blocks;
     };
 
     SsTable() = default;
     void read_rows(const IndexEntry& entry, std::size_t first_row,
                    std::size_t n, std::vector<Row>& out) const;
+    /// Decode one whole block of `entry` into `out`.
+    void read_block(const IndexEntry& entry, const BlockRef& block,
+                    std::vector<Row>& out) const;
+    void query_raw_block(const IndexEntry& entry, const BlockRef& block,
+                         TimestampNs t0, TimestampNs t1,
+                         std::vector<Row>& out) const;
     const IndexEntry* find_entry(const Key& key) const;
 
     std::string path_;
     int fd_{-1};
     std::uint64_t generation_{0};
     std::uint64_t file_bytes_{0};
+    std::uint64_t data_bytes_{0};
     std::vector<IndexEntry> index_;  // sorted by key
     std::unique_ptr<BloomFilter> bloom_;
 };
 
-/// Streaming SSTable writer: rows go straight to the (buffered) output
-/// file as they arrive, so writing a table needs O(partitions) memory for
-/// the index + bloom filter, never O(rows). This is what lets compaction
-/// merge arbitrarily large tables with bounded memory.
+/// Streaming SSTable writer: rows go to the (buffered) output file one
+/// encoded block at a time, so writing a table needs O(partitions +
+/// blocks) memory for the index + bloom filter, never O(rows). This is
+/// what lets compaction merge arbitrarily large tables with bounded
+/// memory.
 ///
 /// Protocol: begin_partition(key) with strictly ascending keys,
 /// add_row() with ascending timestamps within the partition, then
@@ -141,15 +181,26 @@ class SsTableWriter {
     std::uint64_t bytes_written() const { return offset_; }
 
   private:
+    struct PendingBlock {
+        BlockFormat format{BlockFormat::kRaw};
+        std::uint32_t rows{0};
+        std::uint32_t bytes{0};
+        TimestampNs min_ts{0};
+        TimestampNs max_ts{0};
+    };
+
     struct PendingEntry {
         Key key;
         std::uint64_t offset{0};
         std::uint64_t rows{0};
         TimestampNs min_ts{0};
         TimestampNs max_ts{0};
+        std::vector<PendingBlock> blocks;
     };
 
     void put(const void* data, std::size_t n);
+    /// Encode + write the buffered rows as one block.
+    void flush_block();
 
     std::string path_;
     std::string tmp_path_;
@@ -158,6 +209,8 @@ class SsTableWriter {
     std::uint64_t offset_{0};
     BloomFilter bloom_;
     std::vector<PendingEntry> index_;
+    std::vector<Row> block_rows_;            // current block buffer
+    std::vector<std::uint8_t> block_bytes_;  // encode scratch
     bool in_partition_{false};
     bool finished_{false};
     std::uint64_t rows_written_{0};

@@ -1,0 +1,276 @@
+#include "store/tsblock.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace dcdb::store {
+
+namespace {
+
+// MSB-first bit stream over a byte vector.
+class BitWriter {
+  public:
+    explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+    ~BitWriter() { flush(); }
+
+    void bit(std::uint32_t b) {
+        acc_ = static_cast<std::uint8_t>((acc_ << 1) | (b & 1));
+        if (++fill_ == 8) {
+            out_.push_back(acc_);
+            acc_ = 0;
+            fill_ = 0;
+        }
+    }
+    void bits(std::uint64_t v, unsigned n) {
+        while (n--) bit(static_cast<std::uint32_t>((v >> n) & 1));
+    }
+    void flush() {
+        if (fill_ == 0) return;
+        out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+        acc_ = 0;
+        fill_ = 0;
+    }
+
+  private:
+    std::vector<std::uint8_t>& out_;
+    std::uint8_t acc_{0};
+    unsigned fill_{0};
+};
+
+class BitReader {
+  public:
+    explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint32_t bit() {
+        const std::size_t byte = pos_ >> 3;
+        if (byte >= data_.size())
+            throw StoreError("tsblock: bit stream underrun");
+        const std::uint32_t b =
+            (data_[byte] >> (7 - (pos_ & 7))) & 1;
+        ++pos_;
+        return b;
+    }
+    std::uint64_t bits(unsigned n) {
+        std::uint64_t v = 0;
+        while (n--) v = (v << 1) | bit();
+        return v;
+    }
+
+  private:
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_{0};
+};
+
+std::uint64_t zigzag(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t z) {
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+void put_dod(BitWriter& w, std::int64_t dod) {
+    const std::uint64_t z = zigzag(dod);
+    if (dod == 0) {
+        w.bit(0);
+    } else if (z < (1u << 8)) {
+        w.bits(0b10, 2);
+        w.bits(z, 8);
+    } else if (z < (1u << 14)) {
+        w.bits(0b110, 3);
+        w.bits(z, 14);
+    } else if (z < (1u << 24)) {
+        w.bits(0b1110, 4);
+        w.bits(z, 24);
+    } else {
+        w.bits(0b1111, 4);
+        w.bits(z, 64);
+    }
+}
+
+std::int64_t get_dod(BitReader& r) {
+    if (r.bit() == 0) return 0;
+    if (r.bit() == 0) return unzigzag(r.bits(8));
+    if (r.bit() == 0) return unzigzag(r.bits(14));
+    if (r.bit() == 0) return unzigzag(r.bits(24));
+    return unzigzag(r.bits(64));
+}
+
+void encode_raw(std::span<const Row> rows, std::vector<std::uint8_t>& out) {
+    out.reserve(out.size() + rows.size() * Row::kBytes);
+    for (const auto& row : rows) {
+        for (int i = 56; i >= 0; i -= 8)
+            out.push_back(static_cast<std::uint8_t>(row.ts >> i));
+        const auto v = static_cast<std::uint64_t>(row.value);
+        for (int i = 56; i >= 0; i -= 8)
+            out.push_back(static_cast<std::uint8_t>(v >> i));
+        for (int i = 24; i >= 0; i -= 8)
+            out.push_back(static_cast<std::uint8_t>(row.expiry_s >> i));
+    }
+}
+
+void encode_gorilla(std::span<const Row> rows,
+                    std::vector<std::uint8_t>& out) {
+    BitWriter w(out);
+    if (rows.empty()) return;
+
+    // First row raw; every later row relative to its predecessor.
+    w.bits(rows[0].ts, 64);
+    w.bits(static_cast<std::uint64_t>(rows[0].value), 64);
+    w.bits(rows[0].expiry_s, 32);
+
+    std::int64_t prev_ts_delta = 0;
+    std::int64_t prev_exp_delta = 0;
+    std::uint64_t prev_value = static_cast<std::uint64_t>(rows[0].value);
+    unsigned win_lead = 0, win_len = 0;  // win_len 0 = no window yet
+
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+
+        const std::int64_t ts_delta = static_cast<std::int64_t>(
+            row.ts - rows[i - 1].ts);
+        put_dod(w, ts_delta - prev_ts_delta);
+        prev_ts_delta = ts_delta;
+
+        const std::uint64_t value = static_cast<std::uint64_t>(row.value);
+        const std::uint64_t x = value ^ prev_value;
+        prev_value = value;
+        if (x == 0) {
+            w.bit(0);
+        } else {
+            w.bit(1);
+            const unsigned lead =
+                static_cast<unsigned>(std::countl_zero(x));
+            const unsigned trail =
+                static_cast<unsigned>(std::countr_zero(x));
+            const unsigned len = 64 - lead - trail;
+            if (win_len != 0 && lead >= win_lead &&
+                64 - win_lead - win_len <= trail) {
+                w.bit(0);  // fits the open window
+                w.bits(x >> (64 - win_lead - win_len), win_len);
+            } else {
+                w.bit(1);
+                w.bits(lead, 6);
+                w.bits(len - 1, 6);
+                w.bits(x >> trail, len);
+                win_lead = lead;
+                win_len = len;
+            }
+        }
+
+        const std::int64_t exp_delta =
+            static_cast<std::int64_t>(row.expiry_s) -
+            static_cast<std::int64_t>(rows[i - 1].expiry_s);
+        if (exp_delta == prev_exp_delta) {
+            w.bit(0);
+        } else {
+            w.bit(1);
+            w.bits(zigzag(exp_delta - prev_exp_delta), 64);
+        }
+        prev_exp_delta = exp_delta;
+    }
+}
+
+void decode_raw(std::span<const std::uint8_t> payload, std::size_t n,
+                std::vector<Row>& out) {
+    if (payload.size() < n * Row::kBytes)
+        throw StoreError("tsblock: short raw block");
+    const std::uint8_t* p = payload.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        Row row;
+        for (int b = 0; b < 8; ++b) row.ts = (row.ts << 8) | *p++;
+        std::uint64_t v = 0;
+        for (int b = 0; b < 8; ++b) v = (v << 8) | *p++;
+        row.value = static_cast<Value>(v);
+        for (int b = 0; b < 4; ++b)
+            row.expiry_s = (row.expiry_s << 8) | *p++;
+        out.push_back(row);
+    }
+}
+
+void decode_gorilla(std::span<const std::uint8_t> payload, std::size_t n,
+                    std::vector<Row>& out) {
+    if (n == 0) return;
+    BitReader r(payload);
+
+    Row row;
+    row.ts = r.bits(64);
+    row.value = static_cast<Value>(r.bits(64));
+    row.expiry_s = static_cast<std::uint32_t>(r.bits(32));
+    out.push_back(row);
+
+    std::int64_t prev_ts_delta = 0;
+    std::int64_t prev_exp_delta = 0;
+    std::uint64_t prev_value = static_cast<std::uint64_t>(row.value);
+    unsigned win_lead = 0, win_len = 0;
+
+    for (std::size_t i = 1; i < n; ++i) {
+        Row prev = out.back();
+
+        prev_ts_delta += get_dod(r);
+        row.ts = prev.ts + static_cast<std::uint64_t>(prev_ts_delta);
+
+        if (r.bit() == 0) {
+            row.value = static_cast<Value>(prev_value);
+        } else {
+            std::uint64_t x;
+            if (r.bit() == 0) {
+                if (win_len == 0)
+                    throw StoreError("tsblock: window reuse before open");
+                x = r.bits(win_len) << (64 - win_lead - win_len);
+            } else {
+                win_lead = static_cast<unsigned>(r.bits(6));
+                win_len = static_cast<unsigned>(r.bits(6)) + 1;
+                if (win_lead + win_len > 64)
+                    throw StoreError("tsblock: bad xor window");
+                const std::uint64_t significant = r.bits(win_len);
+                const unsigned trail = 64 - win_lead - win_len;
+                x = significant << trail;
+            }
+            prev_value ^= x;
+            row.value = static_cast<Value>(prev_value);
+        }
+
+        if (r.bit() != 0) prev_exp_delta += unzigzag(r.bits(64));
+        row.expiry_s = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(prev.expiry_s) + prev_exp_delta);
+
+        out.push_back(row);
+    }
+}
+
+}  // namespace
+
+void encode_rows(BlockFormat format, std::span<const Row> rows,
+                 std::vector<std::uint8_t>& out) {
+    if (format == BlockFormat::kRaw)
+        encode_raw(rows, out);
+    else
+        encode_gorilla(rows, out);
+}
+
+BlockFormat encode_rows_best(std::span<const Row> rows,
+                             std::vector<std::uint8_t>& out) {
+    const std::size_t raw_bytes = rows.size() * Row::kBytes;
+    std::vector<std::uint8_t> gorilla;
+    encode_gorilla(rows, gorilla);
+    if (gorilla.size() < raw_bytes) {
+        out.insert(out.end(), gorilla.begin(), gorilla.end());
+        return BlockFormat::kGorilla;
+    }
+    encode_raw(rows, out);
+    return BlockFormat::kRaw;
+}
+
+void decode_rows(BlockFormat format, std::span<const std::uint8_t> payload,
+                 std::size_t n, std::vector<Row>& out) {
+    if (format == BlockFormat::kRaw)
+        decode_raw(payload, n, out);
+    else
+        decode_gorilla(payload, n, out);
+}
+
+}  // namespace dcdb::store

@@ -120,6 +120,95 @@ TEST_F(CollectAgentTest, MalformedPayloadCountsDecodeError) {
     EXPECT_EQ(agent.stats().readings, 0u);
 }
 
+TEST_F(CollectAgentTest, TornPayloadSalvagesPrefixAndCountsTheTail) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    // Three whole readings plus a torn 5-byte tail: the prefix must be
+    // salvaged, only the tail is dead-lettered.
+    auto payload = encode_readings(
+        {{1 * kNsPerSec, 10}, {2 * kNsPerSec, 20}, {3 * kNsPerSec, 30}});
+    payload.insert(payload.end(), {0xDE, 0xAD, 0xBE, 0xEF, 0x00});
+    client.publish("/torn/s1", std::move(payload), 1);
+    client.disconnect();
+
+    const auto stats = agent.stats();
+    EXPECT_EQ(stats.readings, 3u);
+    EXPECT_EQ(stats.salvaged, 3u);
+    // decode_errors counts READINGS lost, and a torn tail is (at least)
+    // one lost reading — not one lost payload.
+    EXPECT_EQ(stats.decode_errors, 1u);
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/torn/s1", 0,
+                          kTimestampMax)
+                  .size(),
+              3u);
+    EXPECT_EQ(agent.cache().latest("/torn/s1")->value, 30);
+}
+
+TEST_F(CollectAgentTest, BatchPayloadRoutesEverySectionByItsTopic) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+
+    const std::vector<Reading> a = {{1 * kNsPerSec, 1}, {2 * kNsPerSec, 2}};
+    const std::vector<Reading> b = {{1 * kNsPerSec, 10}};
+    const std::vector<Reading> c = {{1 * kNsPerSec, 100},
+                                    {2 * kNsPerSec, 200},
+                                    {3 * kNsPerSec, 300}};
+    const std::vector<SensorBatch> sections = {
+        {"/batch/g0/s0", a}, {"/batch/g0/s1", b}, {"/batch/g0/s2", c}};
+    // The message topic is informational for batch payloads; the agent
+    // must route each section by its own embedded topic.
+    client.publish("/batch/g0/s0", encode_batch(sections), 1);
+    client.disconnect();
+
+    const auto stats = agent.stats();
+    EXPECT_EQ(stats.messages, 1u);
+    EXPECT_EQ(stats.readings, 6u);
+    EXPECT_EQ(stats.decode_errors, 0u);
+    EXPECT_EQ(stats.salvaged, 0u);
+    EXPECT_EQ(stats.known_sensors, 3u);
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/batch/g0/s0", 0,
+                          kTimestampMax)
+                  .size(),
+              2u);
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/batch/g0/s2", 0,
+                          kTimestampMax)
+                  .size(),
+              3u);
+    EXPECT_EQ(agent.cache().latest("/batch/g0/s1")->value, 10);
+    EXPECT_EQ(agent.cache().latest("/batch/g0/s2")->value, 300);
+    EXPECT_EQ(agent.hierarchy().sensors_below("/batch/g0").size(), 3u);
+}
+
+TEST_F(CollectAgentTest, UnmappableBatchSectionDiscardsOnlyItsReadings) {
+    CollectAgent agent(parse_config("global { listenTcp false }"),
+                       cluster_.get(), meta_.get());
+    mqtt::MqttClient client(agent.connect_inproc(), "p");
+    client.connect();
+    const std::vector<Reading> good = {{1 * kNsPerSec, 1},
+                                       {2 * kNsPerSec, 2}};
+    const std::vector<Reading> bad = {{1 * kNsPerSec, 9},
+                                      {2 * kNsPerSec, 9},
+                                      {3 * kNsPerSec, 9}};
+    // "" cannot map to a SID; its 3 readings are discarded individually,
+    // the sibling section still lands.
+    const std::vector<SensorBatch> sections = {{"/mix/ok", good},
+                                               {"", bad}};
+    client.publish("/mix/ok", encode_batch(sections), 1);
+    client.disconnect();
+
+    const auto stats = agent.stats();
+    EXPECT_EQ(stats.readings, 2u);
+    EXPECT_EQ(stats.decode_errors, 3u);
+    EXPECT_EQ(query_topic(*cluster_, agent.mapper(), "/mix/ok", 0,
+                          kTimestampMax)
+                  .size(),
+              2u);
+}
+
 TEST_F(CollectAgentTest, SidsAreStableAcrossAgentRestarts) {
     SensorId first;
     {

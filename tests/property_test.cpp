@@ -10,12 +10,14 @@
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "common/units.hpp"
+#include "core/payload.hpp"
 #include "core/sensor_cache.hpp"
 #include "core/sensor_id.hpp"
 #include "libdcdb/expression.hpp"
 #include "mqtt/packet.hpp"
 #include "mqtt/topic.hpp"
 #include "store/node.hpp"
+#include "store/tsblock.hpp"
 
 namespace dcdb {
 namespace {
@@ -395,6 +397,256 @@ TEST_P(SidProperty, RandomTopicSetStaysBijective) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SidProperty, ::testing::Values(51, 52, 53));
+
+// ========================================================= batch payload
+
+class PayloadProperty : public Seeded {};
+
+namespace {
+
+std::vector<Reading> random_readings(Rng& rng, std::size_t n) {
+    std::vector<Reading> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Realistic timestamps stay far below the 0xDB.. range that
+        // would alias the v1 batch magic (year ~2400+).
+        const TimestampNs ts = 1 + rng.below(1ull << 60);
+        out.push_back({ts, static_cast<Value>(rng.next_u64())});
+    }
+    return out;
+}
+
+std::vector<Reading> flatten(const BatchPayloadView& view) {
+    std::vector<Reading> out;
+    for (const auto& section : view.sections)
+        for (std::size_t i = 0; i < section.readings.size(); ++i)
+            out.push_back(section.readings[i]);
+    return out;
+}
+
+}  // namespace
+
+TEST_P(PayloadProperty, BatchRoundTripsArbitrarySections) {
+    Rng rng(seed());
+    std::vector<std::string> topics;
+    std::vector<std::vector<Reading>> readings;
+    const std::size_t n_sections = 1 + rng.below(8);
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        topics.push_back("/prop/node" + std::to_string(rng.below(4)) +
+                         "/s" + std::to_string(s));
+        readings.push_back(random_readings(rng, rng.below(50)));
+    }
+    std::vector<SensorBatch> batches;
+    for (std::size_t s = 0; s < n_sections; ++s)
+        batches.push_back({topics[s], readings[s]});
+
+    const auto payload = encode_batch(batches);
+    ASSERT_TRUE(is_batch_payload(payload));
+
+    BatchPayloadView view;
+    decode_batch(payload, view);
+    EXPECT_EQ(view.torn_bytes, 0u);
+    ASSERT_EQ(view.sections.size(), n_sections);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        EXPECT_EQ(view.sections[s].topic, topics[s]);
+        ASSERT_EQ(view.sections[s].readings.size(), readings[s].size());
+        for (std::size_t i = 0; i < readings[s].size(); ++i) {
+            EXPECT_EQ(view.sections[s].readings[i].ts, readings[s][i].ts);
+            EXPECT_EQ(view.sections[s].readings[i].value,
+                      readings[s][i].value);
+        }
+        total += readings[s].size();
+    }
+    EXPECT_EQ(view.total_readings, total);
+}
+
+TEST_P(PayloadProperty, TruncatedBatchSalvagesExactPrefix) {
+    Rng rng(seed());
+    std::vector<std::vector<Reading>> readings;
+    std::vector<std::string> topics;
+    std::vector<SensorBatch> batches;
+    const std::size_t n_sections = 1 + rng.below(5);
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        topics.push_back("/prop/t" + std::to_string(s));
+        readings.push_back(random_readings(rng, 1 + rng.below(20)));
+    }
+    for (std::size_t s = 0; s < n_sections; ++s)
+        batches.push_back({topics[s], readings[s]});
+    const auto payload = encode_batch(batches);
+
+    std::vector<Reading> all;
+    for (const auto& r : readings) all.insert(all.end(), r.begin(), r.end());
+
+    // Cut anywhere past the header: decode must never throw, and what it
+    // returns must be exactly a prefix of the original reading sequence.
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t cut =
+            kBatchHeaderBytes + rng.below(payload.size() - kBatchHeaderBytes + 1);
+        BatchPayloadView view;
+        decode_batch(std::span<const std::uint8_t>(payload.data(), cut),
+                     view);
+        const auto got = flatten(view);
+        ASSERT_LE(got.size(), all.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].ts, all[i].ts);
+            EXPECT_EQ(got[i].value, all[i].value);
+        }
+        if (cut < payload.size())
+            EXPECT_LT(got.size() + 0u, all.size() + 1u);  // salvage bounded
+        if (cut == payload.size()) {
+            EXPECT_EQ(got.size(), all.size());
+            EXPECT_EQ(view.torn_bytes, 0u);
+        }
+    }
+}
+
+TEST_P(PayloadProperty, V0ViewMatchesLegacyDecoderAndSalvagesTails) {
+    Rng rng(seed());
+    const auto readings = random_readings(rng, rng.below(64));
+    auto payload = encode_readings(readings);
+
+    const auto legacy = decode_readings(payload);
+    const auto salvage = decode_readings_view(payload);
+    EXPECT_FALSE(is_batch_payload(payload));
+    EXPECT_EQ(salvage.torn_bytes, 0u);
+    ASSERT_EQ(salvage.readings.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(salvage.readings[i].ts, legacy[i].ts);
+        EXPECT_EQ(salvage.readings[i].value, legacy[i].value);
+    }
+
+    // A torn tail keeps the aligned prefix and reports the tail size.
+    const std::size_t tail = 1 + rng.below(kReadingWireBytes - 1);
+    payload.resize(payload.size() + tail, 0xEE);
+    const auto torn = decode_readings_view(payload);
+    EXPECT_EQ(torn.readings.size(), readings.size());
+    EXPECT_EQ(torn.torn_bytes, tail);
+}
+
+TEST_P(PayloadProperty, FuzzedBatchDecodeNeverCrashes) {
+    Rng rng(seed());
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> junk(rng.below(256));
+        for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+        if (junk.size() >= 2) {
+            junk[0] = kBatchPayloadMagic;  // force dispatch into v1 path
+            junk[1] = kBatchPayloadVersion;
+        }
+        BatchPayloadView view;
+        if (is_batch_payload(junk)) {
+            decode_batch(junk, view);  // must not throw or crash
+            std::size_t n = 0;
+            for (const auto& s : view.sections) n += s.readings.size();
+            EXPECT_EQ(view.total_readings, n);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PayloadProperty,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+// ====================================================== ts block codec
+
+class TsBlockProperty : public Seeded {};
+
+namespace {
+
+std::vector<store::Row> series(Rng& rng, int shape, std::size_t n) {
+    std::vector<store::Row> rows;
+    rows.reserve(n);
+    TimestampNs ts = 1 + rng.below(1ull << 40);
+    std::int64_t value = static_cast<std::int64_t>(rng.below(1000));
+    for (std::size_t i = 0; i < n; ++i) {
+        store::Row row;
+        switch (shape) {
+            case 0:  // paper-regular: fixed stride, constant value + TTL
+                ts += kNsPerSec;
+                row = {ts, value, 3600};
+                break;
+            case 1:  // monotone ts, slowly moving value
+                ts += kNsPerSec + rng.below(1000);
+                value += static_cast<std::int64_t>(rng.below(9)) - 4;
+                row = {ts, value, 0};
+                break;
+            default:  // adversarial jitter: anything goes (ts ascending)
+                ts += rng.below(1ull << 34);
+                row = {ts, static_cast<Value>(rng.next_u64()),
+                       static_cast<std::uint32_t>(rng.next_u64())};
+                break;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+}  // namespace
+
+TEST_P(TsBlockProperty, GorillaRoundTripsEveryShape) {
+    Rng rng(seed());
+    for (int shape = 0; shape < 3; ++shape) {
+        const auto rows = series(rng, shape, 1 + rng.below(512));
+        std::vector<std::uint8_t> encoded;
+        store::encode_rows(store::BlockFormat::kGorilla, rows, encoded);
+        std::vector<store::Row> decoded;
+        store::decode_rows(store::BlockFormat::kGorilla, encoded,
+                           rows.size(), decoded);
+        ASSERT_EQ(decoded.size(), rows.size()) << "shape " << shape;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(decoded[i].ts, rows[i].ts);
+            EXPECT_EQ(decoded[i].value, rows[i].value);
+            EXPECT_EQ(decoded[i].expiry_s, rows[i].expiry_s);
+        }
+    }
+}
+
+TEST_P(TsBlockProperty, BestEncodingRoundTripsAndNeverLosesToRaw) {
+    Rng rng(seed());
+    for (int shape = 0; shape < 3; ++shape) {
+        const auto rows = series(rng, shape, 1 + rng.below(512));
+        std::vector<std::uint8_t> encoded;
+        const auto format = store::encode_rows_best(rows, encoded);
+        EXPECT_LE(encoded.size(), rows.size() * store::Row::kBytes);
+        std::vector<store::Row> decoded;
+        store::decode_rows(format, encoded, rows.size(), decoded);
+        ASSERT_EQ(decoded.size(), rows.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            EXPECT_EQ(decoded[i].ts, rows[i].ts);
+            EXPECT_EQ(decoded[i].value, rows[i].value);
+            EXPECT_EQ(decoded[i].expiry_s, rows[i].expiry_s);
+        }
+    }
+}
+
+TEST_P(TsBlockProperty, RegularSeriesCompressBelowFourBytesPerRow) {
+    Rng rng(seed());
+    const auto rows = series(rng, 0, 512);
+    std::vector<std::uint8_t> encoded;
+    const auto format = store::encode_rows_best(rows, encoded);
+    EXPECT_EQ(format, store::BlockFormat::kGorilla);
+    EXPECT_LE(encoded.size(), rows.size() * 4u)
+        << "bytes/row " << (double(encoded.size()) / rows.size());
+}
+
+TEST_P(TsBlockProperty, TruncatedGorillaPayloadThrowsInsteadOfCrashing) {
+    Rng rng(seed());
+    const auto rows = series(rng, 2, 64);
+    std::vector<std::uint8_t> encoded;
+    store::encode_rows(store::BlockFormat::kGorilla, rows, encoded);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t cut = rng.below(encoded.size());
+        std::vector<store::Row> decoded;
+        EXPECT_THROW(
+            store::decode_rows(
+                store::BlockFormat::kGorilla,
+                std::span<const std::uint8_t>(encoded.data(), cut),
+                rows.size(), decoded),
+            StoreError);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsBlockProperty,
+                         ::testing::Values(71, 72, 73, 74, 75));
 
 }  // namespace
 }  // namespace dcdb

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -209,7 +210,22 @@ TEST(Pusher, EndToEndThroughInprocBroker) {
     bool found = false;
     for (const auto& m : messages) {
         EXPECT_TRUE(m.topic.starts_with("/test/node0/tester/g0/"));
-        const auto readings = decode_readings(m.payload);
+        // The pusher coalesces a multi-sensor group into one v1 batch
+        // payload; a round that drained a single sensor stays v0.
+        std::vector<Reading> readings;
+        if (is_batch_payload(m.payload)) {
+            BatchPayloadView view;
+            decode_batch(m.payload, view);
+            EXPECT_EQ(view.torn_bytes, 0u);
+            for (const auto& section : view.sections) {
+                EXPECT_TRUE(std::string(section.topic)
+                                .starts_with("/test/node0/tester/g0/"));
+                for (std::size_t i = 0; i < section.readings.size(); ++i)
+                    readings.push_back(section.readings[i]);
+            }
+        } else {
+            readings = decode_readings(m.payload);
+        }
         EXPECT_FALSE(readings.empty());
         for (const auto& r : readings)
             EXPECT_EQ(r.ts % (100 * kNsPerMs), 0u);
@@ -219,6 +235,87 @@ TEST(Pusher, EndToEndThroughInprocBroker) {
     const auto stats = pusher.stats();
     EXPECT_EQ(stats.sensors, 5u);
     EXPECT_GT(stats.readings_pushed, 0u);
+}
+
+TEST(Pusher, CoalescedGroupArrivesAsOneMultiSensorMessage) {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<mqtt::Publish> messages;
+    mqtt::MqttBroker broker(
+        mqtt::BrokerMode::kReduced,
+        [&](const mqtt::Publish& p) {
+            std::scoped_lock lock(mutex);
+            messages.push_back(p);
+            cv.notify_all();
+        },
+        0, /*listen_tcp=*/false);
+
+    Pusher pusher(tester_config(5, "100ms"), broker.connect_inproc());
+    pusher.start();
+    {
+        std::unique_lock lock(mutex);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                                [&] { return messages.size() >= 3; }));
+    }
+    pusher.stop();
+
+    // A full sampling round drains all 5 sensors of the group into ONE
+    // v1 batch payload with one section per sensor.
+    std::scoped_lock lock(mutex);
+    bool full_round = false;
+    for (const auto& m : messages) {
+        if (!is_batch_payload(m.payload)) continue;
+        BatchPayloadView view;
+        decode_batch(m.payload, view);
+        if (view.sections.size() == 5) full_round = true;
+        // Section topics must be distinct sensors of the group.
+        std::set<std::string> topics;
+        for (const auto& section : view.sections)
+            topics.insert(std::string(section.topic));
+        EXPECT_EQ(topics.size(), view.sections.size());
+    }
+    EXPECT_TRUE(full_round);
+    const auto stats = pusher.stats();
+    EXPECT_LT(stats.messages_sent, stats.readings_pushed)
+        << "coalescing must send fewer messages than readings";
+}
+
+TEST(Pusher, CoalescingCanBeDisabledByConfig) {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<mqtt::Publish> messages;
+    mqtt::MqttBroker broker(
+        mqtt::BrokerMode::kReduced,
+        [&](const mqtt::Publish& p) {
+            std::scoped_lock lock(mutex);
+            messages.push_back(p);
+            cv.notify_all();
+        },
+        0, /*listen_tcp=*/false);
+
+    auto config = parse_config(
+        "global {\n"
+        "    topicPrefix /test/node0\n"
+        "    pushInterval 100ms\n"
+        "    coalescePush false\n"
+        "    restApi false\n"
+        "}\n"
+        "plugins { tester { group g0 { sensors 4 ; interval 100ms } } }\n");
+    Pusher pusher(std::move(config), broker.connect_inproc());
+    pusher.start();
+    {
+        std::unique_lock lock(mutex);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                                [&] { return messages.size() >= 8; }));
+    }
+    pusher.stop();
+
+    // Legacy discipline: every message is a v0 single-sensor payload.
+    std::scoped_lock lock(mutex);
+    for (const auto& m : messages) {
+        EXPECT_FALSE(is_batch_payload(m.payload));
+        EXPECT_FALSE(decode_readings(m.payload).empty());
+    }
 }
 
 TEST(Pusher, CacheOnlyOperationWithoutBroker) {

@@ -34,6 +34,13 @@
 //                      trailing '/', wildcards only as whole levels and
 //                      '#' only last (see core/sensor_id.hpp and
 //                      mqtt/topic.hpp).
+//   per-reading-insert the collect-agent layer must feed the store
+//                      through the batched path (insert_batch): a
+//                      per-reading `insert(...)` call re-opens the
+//                      one-lock-acquisition-per-reading hot path the
+//                      batch pipeline exists to close. Off-hot-path
+//                      exceptions carry a
+//                      `dcdblint: allow-single-insert(<why>)` marker.
 //   naked-atomic       no ad-hoc `std::atomic<integer>` stat counters
 //                      outside src/telemetry/ — statistics belong in the
 //                      metric registry (telemetry::Counter/Gauge), where
@@ -385,6 +392,32 @@ void check_sleep(const std::string& rel, const std::vector<Line>& lines,
     }
 }
 
+// The collect agent is the ingest hot path: every reading it stores must
+// go through StoreCluster::insert_batch / StorageNode::insert_batch so a
+// payload costs one commit-log record and one writer-lock acquisition,
+// not one per reading. `insert_batch` is a different identifier and does
+// not trip the check.
+void check_per_reading_insert(const std::string& rel,
+                              const std::vector<Line>& lines,
+                              std::vector<Violation>& out) {
+    if (layer_of(rel) != "collectagent") return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const auto pos = find_word(code, "insert");
+        if (!pos) continue;
+        // Only calls: `insert` immediately followed by '('.
+        std::size_t j = *pos + std::string("insert").size();
+        while (j < code.size() && code[j] == ' ') ++j;
+        if (j >= code.size() || code[j] != '(') continue;
+        if (has_marker(lines, i, "dcdblint: allow-single-insert")) continue;
+        out.push_back(
+            {rel, i + 1, "per-reading-insert",
+             "per-reading insert() in the collect-agent layer — batch "
+             "readings and call insert_batch(), or justify with "
+             "`dcdblint: allow-single-insert(<why>)`"});
+    }
+}
+
 // Stat counters must live in the telemetry registry; a naked
 // std::atomic<integer> member is an unexported, unsharded shadow stat.
 // Flags (std::atomic<bool>) are control state, not statistics, and pass.
@@ -509,6 +542,7 @@ std::vector<Violation> lint_file(const std::string& rel,
     check_raw_sync(rel, lines, out);
     check_unguarded_mutex(rel, lines, out);
     check_sleep(rel, lines, out);
+    check_per_reading_insert(rel, lines, out);
     check_naked_atomic(rel, lines, out);
     check_includes(rel, lines, out);
     check_topic_literals(rel, lines, out);
@@ -559,6 +593,16 @@ const Case kCases[] = {
      "// dcdblint: allow-sleep(injected fault delay)\n"
      "std::this_thread::sleep_for(delay);\n",
      nullptr},
+    {"per-reading insert fires in collect agent", "src/collectagent/bad.cpp",
+     "cluster_->insert(key, ts, value, ttl);\n", "per-reading-insert"},
+    {"insert_batch clean in collect agent", "src/collectagent/good.cpp",
+     "cluster_->insert_batch(batch, store_node_hint_);\n", nullptr},
+    {"allow-single-insert marker accepted", "src/collectagent/good2.cpp",
+     "// dcdblint: allow-single-insert(admin backfill, not the hot path)\n"
+     "cluster_->insert(key, ts, value);\n",
+     nullptr},
+    {"per-reading insert ok outside collect agent", "src/store/good9.cpp",
+     "memtable_.insert(key, row);\n", nullptr},
     {"naked atomic counter fires", "src/store/bad3.hpp",
      "std::atomic<std::uint64_t> writes_{0};\n", "naked-atomic"},
     {"atomic bool flag clean", "src/store/good6.hpp",
