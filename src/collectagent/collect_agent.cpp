@@ -10,6 +10,21 @@
 
 namespace dcdb::collectagent {
 
+namespace {
+
+telemetry::trace::Tracer::Config agent_tracer_config(
+    const ConfigNode& config, telemetry::MetricRegistry* registry) {
+    telemetry::trace::Tracer::Config tc;
+    // The agent never mints trace IDs (minting happens at sample time on
+    // the Pusher); the key only sizes the seeded RNG state consistently.
+    tc.sample_every = config.get_u64_or("global.traceSampleRate", 1024);
+    tc.seed = now_ns();  // distinct per process start
+    tc.registry = registry;
+    return tc;
+}
+
+}  // namespace
+
 CollectAgent::CollectAgent(const ConfigNode& config,
                            store::StoreCluster* cluster,
                            store::MetaStore* meta,
@@ -34,14 +49,16 @@ CollectAgent::CollectAgent(const ConfigNode& config,
       store_errors_(registry_.counter("collectagent.store.errors")),
       store_retries_(registry_.counter("collectagent.store.retries")),
       dead_letters_(registry_.counter("collectagent.dead.letters")),
-      store_latency_(registry_.histogram("collectagent.store.latency")) {
+      store_latency_(registry_.histogram("collectagent.store.latency")),
+      tracer_(agent_tracer_config(config, &registry_)) {
     const bool listen_tcp = config.get_bool_or("global.listenTcp", true);
     const auto port = static_cast<std::uint16_t>(
         config.get_i64_or("global.mqttPort", 0));
     broker_ = std::make_unique<mqtt::MqttBroker>(
         mqtt::BrokerMode::kReduced,
         [this](const mqtt::Publish& p) { on_publish(p); }, port, listen_tcp,
-        &registry_);
+        &registry_, &tracer_);
+    cluster_->set_tracer(&tracer_);
 
     if (config.get_bool_or("global.restApi", false))
         rest_server_ = make_agent_rest_server(*this);
@@ -79,12 +96,27 @@ std::uint16_t CollectAgent::rest_port() const {
 }
 
 bool CollectAgent::insert_batch_with_retry(
-    std::span<const store::BatchEntry> batch) {
+    std::span<const store::BatchEntry> batch,
+    const telemetry::trace::TraceContext* trace) {
     for (std::uint32_t attempt = 0;; ++attempt) {
         try {
+            const TimestampNs insert_wall = trace ? now_ns() : 0;
             const TimestampNs insert_start = steady_ns();
-            cluster_->insert_batch(batch, store_node_hint_);
-            store_latency_.record(steady_ns() - insert_start);
+            cluster_->insert_batch(batch, store_node_hint_, trace);
+            const std::uint64_t insert_dur = steady_ns() - insert_start;
+            if (trace) {
+                // Exemplar: the slowest buckets of the store-latency
+                // histogram carry a trace ID to pivot into /traces.
+                store_latency_.record(insert_dur, trace->trace_id);
+                tracer_.record_span(*trace, telemetry::trace::Stage::kInsert,
+                                    insert_wall, insert_dur,
+                                    static_cast<std::uint32_t>(batch.size()));
+                // The reading is durable on the primary: the trace is
+                // complete end-to-end (sample deadline -> store insert).
+                tracer_.complete(*trace, now_ns());
+            } else {
+                store_latency_.record(insert_dur);
+            }
             return true;
         } catch (const std::exception& e) {
             store_errors_.add(1);
@@ -139,9 +171,19 @@ void CollectAgent::on_publish(const mqtt::Publish& message) {
     std::size_t discarded = 0;
     bool torn = false;
 
+    // Cheap tail probe to decide whether this message is worth the
+    // tracing clock reads. Attribution stays with decode_batch (the
+    // authoritative parse): a torn payload never yields a trace here.
+    const bool maybe_traced =
+        telemetry::trace::peek_trailer(payload).valid();
+    const TimestampNs decode_wall = maybe_traced ? now_ns() : 0;
+    const TimestampNs decode_start = maybe_traced ? steady_ns() : 0;
+    telemetry::trace::TraceContext trace;
+
     if (is_batch_payload(payload)) {
         decode_batch(payload, view);  // cannot throw: header was checked
         torn = view.torn_bytes > 0;
+        trace = view.trace;
         for (const auto& section : view.sections) {
             PendingSection pending;
             pending.topic = section.topic;
@@ -190,7 +232,14 @@ void CollectAgent::on_publish(const mqtt::Publish& message) {
     if (batch.empty()) return;
     if (torn) decode_salvaged_.add(batch.size());
 
-    if (!insert_batch_with_retry(batch)) return;
+    if (trace.valid()) {
+        // Decode span covers payload parse + SID mapping + batch build.
+        tracer_.record_span(trace, telemetry::trace::Stage::kDecode,
+                            decode_wall, steady_ns() - decode_start,
+                            static_cast<std::uint32_t>(batch.size()));
+    }
+    if (!insert_batch_with_retry(batch, trace.valid() ? &trace : nullptr))
+        return;
     readings_.add(batch.size());
 
     // Cache the newest persisted reading per sensor, notify the live
@@ -216,7 +265,7 @@ void CollectAgent::ingest(const std::string& topic, const Reading& reading) {
     const store::BatchEntry entry{sensor_key(sid, reading.ts), reading.ts,
                                   reading.value, ttl_s_};
     if (!insert_batch_with_retry(
-            std::span<const store::BatchEntry>(&entry, 1)))
+            std::span<const store::BatchEntry>(&entry, 1), nullptr))
         return;
     cache_.push(topic, reading);
     tree_.add(topic);
@@ -238,6 +287,13 @@ std::vector<Reading> CollectAgent::query_stored(const std::string& topic,
         if (bucket == time_bucket(t1)) break;
     }
     return out;
+}
+
+CollectAgent::Readiness CollectAgent::readiness() const {
+    if (!cluster_->writable()) return {false, "store not writable"};
+    if (owns_maintenance_ && !cluster_->maintenance_running())
+        return {false, "maintenance thread not running"};
+    return {true, "ok"};
 }
 
 CollectAgentStats CollectAgent::stats() const {

@@ -34,6 +34,7 @@
 #include "store/cluster.hpp"
 #include "store/metastore.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::collectagent {
 
@@ -90,6 +91,21 @@ class CollectAgent {
 
     CollectAgentStats stats() const;
 
+    /// The agent-side flight recorder: decode / insert / store spans for
+    /// traced batches, completion (end-to-end latency + tail capture)
+    /// included. The /traces endpoint reads from here.
+    telemetry::trace::Tracer& tracer() { return tracer_; }
+    const telemetry::trace::Tracer& tracer() const { return tracer_; }
+
+    /// Readiness probe (the REST /readyz endpoint): the store accepts
+    /// writes and, when this agent owns the maintenance thread, that
+    /// thread is alive. `reason` explains a false verdict.
+    struct Readiness {
+        bool ready{false};
+        std::string reason;
+    };
+    Readiness readiness() const;
+
     /// Register a listener invoked (from broker session threads) for
     /// every live reading — the attachment point of the streaming
     /// analytics layer. Set before traffic flows; not thread-safe against
@@ -117,7 +133,8 @@ class CollectAgent {
     /// store errors must not drop decoded data). The batch is the unit
     /// of work: it lands atomically (one commit-log record) or, after
     /// the last attempt fails, every reading in it is dead-lettered.
-    bool insert_batch_with_retry(std::span<const store::BatchEntry> batch);
+    bool insert_batch_with_retry(std::span<const store::BatchEntry> batch,
+                                 const telemetry::trace::TraceContext* trace);
 
     store::StoreCluster* cluster_;
     // Declared before every member that registers metrics into it.
@@ -146,6 +163,11 @@ class CollectAgent {
     telemetry::Counter& store_retries_;
     telemetry::Counter& dead_letters_;
     telemetry::Histogram& store_latency_;
+    /// Declared after the registry it registers trace.* metrics into.
+    /// The broker (route spans) and the store cluster (log_append / sync
+    /// spans) both record into this tracer; it is wired to them in the
+    /// constructor body, after member initialization completes.
+    telemetry::trace::Tracer tracer_;
 };
 
 /// REST server factory (shared by the agent constructor).

@@ -8,10 +8,36 @@
 #include "collectagent/collect_agent.hpp"
 #include "common/string_utils.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::collectagent {
 
 namespace {
+
+/// The real route set, in help order. `/` and the 404 fallback both
+/// enumerate THIS table, so the help text cannot drift from the
+/// dispatcher again — adding a route means adding it here.
+constexpr const char* kRoutes[] = {
+    "/sensors", "/hierarchy", "/query",  "/stats",        "/healthz",
+    "/readyz",  "/traces",    "/traces.json", "/metrics", "/metrics.json",
+};
+
+std::string route_list() {
+    std::string out;
+    for (const char* route : kRoutes) {
+        out += ' ';
+        out += route;
+    }
+    return out;
+}
+
+HttpResponse handle_readyz(CollectAgent& agent) {
+    const auto readiness = agent.readiness();
+    if (readiness.ready)
+        return HttpResponse::json("{\"ready\":true,\"reason\":\"ok\"}\n");
+    return {503, "application/json",
+            "{\"ready\":false,\"reason\":\"" + readiness.reason + "\"}\n"};
+}
 
 HttpResponse handle_sensors(CollectAgent& agent, const HttpRequest& req) {
     const std::string topic = req.path.substr(std::string("/sensors").size());
@@ -100,6 +126,15 @@ std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
                     static_cast<unsigned long long>(s.dead_letters),
                     s.known_sensors));
             }
+            if (req.path == "/healthz")
+                return HttpResponse::json("{\"status\":\"ok\"}\n");
+            if (req.path == "/readyz") return handle_readyz(agent);
+            if (req.path == "/traces")
+                return HttpResponse::ok(
+                    telemetry::trace::to_text(agent.tracer(), "agent"));
+            if (req.path == "/traces.json")
+                return HttpResponse::json(
+                    telemetry::trace::to_json(agent.tracer(), "agent"));
             if (req.path == "/metrics")
                 return HttpResponse::ok(
                     telemetry::to_prometheus(agent.telemetry()),
@@ -109,10 +144,10 @@ std::unique_ptr<HttpServer> make_agent_rest_server(CollectAgent& agent) {
                     telemetry::to_json(agent.telemetry()),
                     "application/json");
             if (req.path == "/")
-                return HttpResponse::ok(
-                    "dcdb collect agent: /sensors /hierarchy /query "
-                    "/stats /metrics /metrics.json\n");
-            return HttpResponse::not_found();
+                return HttpResponse::ok("dcdb collect agent:" +
+                                        route_list() + "\n");
+            return HttpResponse::not_found("not found; routes:" +
+                                           route_list() + "\n");
         },
         &agent.telemetry());
 }

@@ -68,24 +68,40 @@ std::vector<std::uint8_t> encode_batch(std::span<const SensorBatch> batches) {
     return w.take();
 }
 
+std::vector<std::uint8_t> encode_batch(
+    std::span<const SensorBatch> batches,
+    const telemetry::trace::TraceContext& trace) {
+    std::vector<std::uint8_t> payload = encode_batch(batches);
+    telemetry::trace::append_trailer(payload, trace);
+    return payload;
+}
+
 void decode_batch(std::span<const std::uint8_t> payload,
                   BatchPayloadView& out) {
     out.sections.clear();
     out.total_readings = 0;
     out.torn_bytes = 0;
+    out.trace = {};
     if (!is_batch_payload(payload))
         throw ProtocolError("not a v1 batch payload");
     const std::uint16_t n_sections =
         static_cast<std::uint16_t>((payload[2] << 8) | payload[3]);
 
     std::size_t pos = kBatchHeaderBytes;
+    bool complete = true;
     for (std::uint16_t s = 0; s < n_sections; ++s) {
         // Section header: u16 topic length + topic + u32 reading count.
         // A payload cut anywhere in here loses only the unreadable tail.
-        if (payload.size() - pos < 2) break;
+        if (payload.size() - pos < 2) {
+            complete = false;
+            break;
+        }
         const std::size_t topic_len =
             static_cast<std::size_t>((payload[pos] << 8) | payload[pos + 1]);
-        if (payload.size() - pos < 2 + topic_len + 4) break;
+        if (payload.size() - pos < 2 + topic_len + 4) {
+            complete = false;
+            break;
+        }
         const std::string_view topic(
             reinterpret_cast<const char*>(payload.data() + pos + 2),
             topic_len);
@@ -108,9 +124,22 @@ void decode_batch(std::span<const std::uint8_t> payload,
         }
         if (take < declared) {  // truncated mid-section: stop here
             pos += whole * kReadingWireBytes;
+            complete = false;
             break;
         }
         pos += declared;
+    }
+    // Trace trailer: accepted only from an intact payload with exactly
+    // the trailer bytes left over. A torn payload never reaches here
+    // with complete == true, so salvaged rows can never be attributed
+    // to a trace whose trailer happens to survive in the garbage tail.
+    if (complete && payload.size() - pos == telemetry::trace::kTrailerBytes) {
+        const auto ctx = telemetry::trace::decode_trailer(
+            payload.subspan(pos, telemetry::trace::kTrailerBytes));
+        if (ctx.valid()) {
+            out.trace = ctx;
+            pos += telemetry::trace::kTrailerBytes;
+        }
     }
     out.torn_bytes = payload.size() - pos;
 }

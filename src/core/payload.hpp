@@ -9,6 +9,15 @@
 //   [header]   u8 magic 0xDB, u8 version 1, u16 section count
 //   [section]  u16 topic length, topic bytes,
 //              u32 reading count, count x 16-byte v0 records
+//   [trailer]  OPTIONAL 19-byte trace-context trailer (telemetry/
+//              trace.hpp): u8 magic 0xDC, u8 version, u64 trace id,
+//              u64 origin ns, u8 flags. Version-negotiated by length:
+//              a decoder only accepts the trailer when every declared
+//              section decoded completely AND exactly 19 matching bytes
+//              remain, so v0 peers and trailer-unaware v1 decoders see
+//              at worst 19 torn trailing bytes — never a bogus reading
+//              (19 is not a multiple of the 16-byte record size) and
+//              never a lost one.
 //
 // A v0 payload can never alias the v1 header: its first byte is the
 // most-significant byte of a nanosecond timestamp, and 0xDB there means
@@ -30,6 +39,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb {
 
@@ -98,6 +108,10 @@ struct BatchPayloadView {
     std::vector<SensorSectionView> sections;
     std::size_t total_readings{0};
     std::size_t torn_bytes{0};
+    /// Trace context from the optional trailer; invalid (trace_id 0)
+    /// when the payload carries none. Never populated from a torn
+    /// payload — a salvaged batch must not claim another batch's trace.
+    telemetry::trace::TraceContext trace;
 };
 
 /// True when `payload` carries the v1 batch header.
@@ -112,6 +126,12 @@ struct SensorBatch {
 /// Serialize a v1 multi-sensor batch payload. Throws ProtocolError when
 /// a topic exceeds 64 KiB or more than 65535 sections are given.
 std::vector<std::uint8_t> encode_batch(std::span<const SensorBatch> batches);
+
+/// As above, plus the trace-context trailer when `trace` is valid (an
+/// invalid context encodes byte-identically to the overload above).
+std::vector<std::uint8_t> encode_batch(
+    std::span<const SensorBatch> batches,
+    const telemetry::trace::TraceContext& trace);
 
 /// Decode a v1 batch payload into `out` (reusing its section storage —
 /// steady-state decoding allocates nothing). Throws ProtocolError when

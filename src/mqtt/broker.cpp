@@ -1,14 +1,17 @@
 #include "mqtt/broker.hpp"
 
+#include "common/clock.hpp"
 #include "common/logging.hpp"
 #include "mqtt/topic.hpp"
 
 namespace dcdb::mqtt {
 
 MqttBroker::MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port,
-                       bool listen_tcp, telemetry::MetricRegistry* registry)
+                       bool listen_tcp, telemetry::MetricRegistry* registry,
+                       telemetry::trace::Tracer* tracer)
     : mode_(mode),
       sink_(std::move(sink)),
+      tracer_(tracer),
       connections_(telemetry::resolve_registry(registry, owned_registry_)
                        .counter("mqtt.broker.connections")),
       publishes_(telemetry::resolve_registry(registry, owned_registry_)
@@ -154,10 +157,23 @@ void MqttBroker::session_loop(Session* session) {
 void MqttBroker::handle_publish(Session* session, const Publish& p) {
     publishes_.add(1);
     payload_bytes_.add(p.payload.size());
+    // The broker never decodes payloads (the reduced-mode design point),
+    // so trace detection is a tail peek. A v0 payload whose last bytes
+    // mimic the trailer magic can (p ~ 2^-16) produce one junk span in
+    // the diagnostics ring; attribution at the agent stays authoritative
+    // because decode_batch() validates the full structure.
+    const auto trace = tracer_ ? telemetry::trace::peek_trailer(p.payload)
+                               : telemetry::trace::TraceContext{};
+    const TimestampNs route_wall = trace.valid() ? now_ns() : 0;
+    const TimestampNs route_start = trace.valid() ? steady_ns() : 0;
     // Process before acknowledging: a QoS-1 PUBACK means the reading has
     // reached the storage path, so publishers can rely on it.
     if (sink_) sink_(p);
     if (mode_ == BrokerMode::kFull) route(p);
+    if (trace.valid()) {
+        tracer_->record_span(trace, telemetry::trace::Stage::kBrokerRoute,
+                             route_wall, steady_ns() - route_start, 0);
+    }
     if (p.qos == 1) session->stream.write_packet(Puback{p.packet_id});
 }
 

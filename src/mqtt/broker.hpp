@@ -25,6 +25,7 @@
 #include "common/mutex.hpp"
 #include "mqtt/transport.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::mqtt {
 
@@ -47,10 +48,13 @@ class MqttBroker {
     /// Start the broker. `port` 0 picks an ephemeral TCP port; pass
     /// `listen_tcp = false` for a purely in-process broker. When
     /// `registry` is given, broker counters (mqtt.broker.*) land there;
-    /// otherwise the broker keeps a private registry.
+    /// otherwise the broker keeps a private registry. When `tracer` is
+    /// given, payloads carrying a trace trailer get a broker_route span
+    /// (the broker treats payloads as opaque: it only peeks the tail).
     MqttBroker(BrokerMode mode, MessageSink sink, std::uint16_t port = 0,
                bool listen_tcp = true,
-               telemetry::MetricRegistry* registry = nullptr);
+               telemetry::MetricRegistry* registry = nullptr,
+               telemetry::trace::Tracer* tracer = nullptr);
     ~MqttBroker();
 
     MqttBroker(const MqttBroker&) = delete;
@@ -90,6 +94,7 @@ class MqttBroker {
 
     BrokerMode mode_;
     MessageSink sink_;
+    telemetry::trace::Tracer* tracer_;
     // Registry-backed stat counters (see DESIGN.md §8); the owned
     // registry only exists when no external one was supplied.
     std::unique_ptr<telemetry::MetricRegistry> owned_registry_;

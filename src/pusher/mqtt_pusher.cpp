@@ -137,13 +137,15 @@ std::size_t MqttPusher::flush_retries(mqtt::MqttClient* client,
     return sent;
 }
 
-void MqttPusher::publish_coalesced(mqtt::MqttClient* client,
-                                   std::vector<PendingBatch>& drained,
-                                   std::size_t& sent) {
+void MqttPusher::publish_coalesced(
+    mqtt::MqttClient* client, std::vector<PendingBatch>& drained,
+    std::size_t& sent, const telemetry::trace::TraceContext& trace) {
     if (drained.empty()) return;
-    if (drained.size() == 1) {
+    if (drained.size() == 1 && !trace.valid()) {
         // A lone sensor keeps the v0 single-sensor payload: no batching
-        // overhead, and old agents keep decoding it.
+        // overhead, and old agents keep decoding it. A traced round uses
+        // the v1 form below regardless — v0 has nowhere to carry the
+        // trailer.
         if (publish_batch(client, drained.front().topic,
                           drained.front().readings)) {
             ++sent;
@@ -161,21 +163,29 @@ void MqttPusher::publish_coalesced(mqtt::MqttClient* client,
         sections.push_back(SensorBatch{batch.topic, batch.readings});
         total += batch.readings.size();
     }
+    const TimestampNs publish_wall = trace.valid() ? now_ns() : 0;
+    const TimestampNs publish_start = trace.valid() ? steady_ns() : 0;
     try {
         // The message topic is informational for a batch payload (the
         // agent routes on the per-section topics); the first sensor's
         // topic keeps broker-side accounting meaningful.
-        client->publish(drained.front().topic, encode_batch(sections),
-                        config_.qos);
+        client->publish(drained.front().topic,
+                        encode_batch(sections, trace), config_.qos);
     } catch (const std::exception& e) {
         publish_failures_.add(1);
         DCDB_DEBUG("pusher") << "coalesced publish of " << drained.size()
                              << " sensors failed: " << e.what();
         // Re-enter the retry path sensor-at-a-time so the queue bound
         // and per-sensor ordering semantics stay exactly as before.
+        // The trace ends here: requeued batches republish as v0.
         for (auto& batch : drained)
             requeue(std::move(batch.topic), std::move(batch.readings));
         return;
+    }
+    if (trace.valid() && config_.tracer) {
+        config_.tracer->record_span(
+            trace, telemetry::trace::Stage::kPublish, publish_wall,
+            steady_ns() - publish_start, static_cast<std::uint32_t>(total));
     }
     readings_.add(total);
     messages_.add(1);
@@ -190,6 +200,16 @@ std::size_t MqttPusher::push_once() {
     std::vector<PendingBatch> drained;
     for (const auto& plugin : *plugins_) {
         for (const auto& group : plugin->groups()) {
+            // A trace the sampler parked on this group rides the
+            // coalesced publish; without coalescing there is no v1
+            // payload to carry it, so the slot is simply left to be
+            // overwritten by the next mint.
+            const auto trace =
+                (config_.tracer && config_.coalesce)
+                    ? group->pending_trace().take()
+                    : telemetry::trace::TraceContext{};
+            const TimestampNs drain_wall = trace.valid() ? now_ns() : 0;
+            const TimestampNs drain_start = trace.valid() ? steady_ns() : 0;
             drained.clear();
             for (const auto& sensor : group->sensors()) {
                 if (sensor->pending_count() == 0) continue;
@@ -205,7 +225,16 @@ std::size_t MqttPusher::push_once() {
                     requeue(sensor->topic(), std::move(readings));
                 }
             }
-            publish_coalesced(client, drained, sent);
+            if (trace.valid() && !drained.empty()) {
+                std::size_t total = 0;
+                for (const auto& batch : drained)
+                    total += batch.readings.size();
+                config_.tracer->record_span(
+                    trace, telemetry::trace::Stage::kCoalesce, drain_wall,
+                    steady_ns() - drain_start,
+                    static_cast<std::uint32_t>(total));
+            }
+            publish_coalesced(client, drained, sent, trace);
         }
     }
     return sent;

@@ -31,6 +31,7 @@
 #include "mqtt/client.hpp"
 #include "pusher/plugin.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::pusher {
 
@@ -56,6 +57,12 @@ struct MqttPusherConfig {
     /// Registry for the pusher.push.* counters and retry-queue gauges;
     /// nullptr keeps a private registry.
     telemetry::MetricRegistry* registry{nullptr};
+    /// When set (and coalescing), the push thread picks up traces the
+    /// sampler parked on each group, records coalesce/publish spans,
+    /// and ships the context in the v1 payload trailer. A requeued
+    /// batch republishes as v0: its trace is abandoned by design (the
+    /// retry path has its own counters and is seconds-slow anyway).
+    telemetry::trace::Tracer* tracer{nullptr};
 };
 
 struct MqttPusherStats {
@@ -111,10 +118,12 @@ class MqttPusher {
                        const std::vector<Reading>& readings);
     /// Publish a whole group's drained sensors as one coalesced
     /// multi-sensor payload; on failure each sensor's batch is requeued
-    /// individually.
+    /// individually. A valid `trace` forces the v1 payload (even for a
+    /// single sensor) so its trailer can carry the context.
     void publish_coalesced(mqtt::MqttClient* client,
                            std::vector<PendingBatch>& drained,
-                           std::size_t& sent);
+                           std::size_t& sent,
+                           const telemetry::trace::TraceContext& trace);
     void requeue(std::string topic, std::vector<Reading> readings)
         DCDB_EXCLUDES(retry_mutex_);
     std::size_t flush_retries(mqtt::MqttClient* client, bool ignore_backoff)

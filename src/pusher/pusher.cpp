@@ -10,11 +10,27 @@
 
 namespace dcdb::pusher {
 
+namespace {
+
+telemetry::trace::Tracer::Config pusher_tracer_config(
+    const ConfigNode& config, telemetry::MetricRegistry* registry) {
+    telemetry::trace::Tracer::Config tc;
+    // global.traceSampleRate N traces ~1/N group reads; 0 disables
+    // minting (stages still stamp spans for contexts minted upstream).
+    tc.sample_every = config.get_u64_or("global.traceSampleRate", 1024);
+    tc.seed = now_ns();  // distinct per process start
+    tc.registry = registry;
+    return tc;
+}
+
+}  // namespace
+
 Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
     : config_(std::move(config)),
       reconnects_(registry_.counter("pusher.reconnects")),
       reconnect_failures_(registry_.counter("pusher.reconnect.failures")),
-      cache_bytes_(registry_.gauge("pusher.cache.bytes")) {
+      cache_bytes_(registry_.gauge("pusher.cache.bytes")),
+      tracer_(pusher_tracer_config(config_, &registry_)) {
     plugins::register_builtin_plugins();
 
     topic_prefix_ = config_.get_string_or("global.topicPrefix", "/node");
@@ -24,7 +40,8 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
 
     const int threads = static_cast<int>(
         config_.get_i64_or("global.threads", 2));
-    sampler_ = std::make_unique<Sampler>(threads, cache_.get(), &registry_);
+    sampler_ = std::make_unique<Sampler>(threads, cache_.get(), &registry_,
+                                         &tracer_);
 
     configure_plugins();
 
@@ -77,6 +94,7 @@ Pusher::Pusher(ConfigNode config, std::unique_ptr<mqtt::Transport> transport)
         mc.retry_backoff_max_ns = config_.get_duration_ns_or(
             "global.retryBackoffMax", 10 * kNsPerSec);
         mc.registry = &registry_;
+        mc.tracer = &tracer_;
         mqtt_pusher_ = std::make_unique<MqttPusher>(
             [this] { return client_for_push(); }, &plugins_, mc);
     }

@@ -111,6 +111,14 @@ class Pusher {
     /// True when an MQTT connection to the Collect Agent is currently up.
     bool mqtt_connected() const DCDB_EXCLUDES(client_mutex_);
 
+    /// True when this Pusher is configured to publish at all ("none"
+    /// runs cache-only); /readyz treats an unconfigured broker as ready.
+    bool mqtt_configured() const { return mqtt_pusher_ != nullptr; }
+
+    /// Pusher-side flight recorder (sample/coalesce/publish spans).
+    telemetry::trace::Tracer& tracer() { return tracer_; }
+    const telemetry::trace::Tracer& tracer() const { return tracer_; }
+
   private:
     void configure_plugins();
 
@@ -128,6 +136,8 @@ class Pusher {
     telemetry::Counter& reconnects_;
     telemetry::Counter& reconnect_failures_;
     telemetry::Gauge& cache_bytes_;
+    // Declared before the sampler and push thread that record into it.
+    telemetry::trace::Tracer tracer_;
 
     std::unique_ptr<CacheSet> cache_;
     std::vector<std::unique_ptr<Plugin>> plugins_;

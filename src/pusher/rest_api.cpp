@@ -5,10 +5,38 @@
 #include "common/string_utils.hpp"
 #include "pusher/pusher.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::pusher {
 
 namespace {
+
+/// The real route set, in help order. `/` and the 404 fallback both
+/// enumerate THIS table, so the help text cannot drift from the
+/// dispatcher again — adding a route means adding it here.
+constexpr const char* kRoutes[] = {
+    "/sensors", "/plugins", "/config",  "/stats",        "/healthz",
+    "/readyz",  "/traces",  "/traces.json", "/metrics", "/metrics.json",
+};
+
+std::string route_list() {
+    std::string out;
+    for (const char* route : kRoutes) {
+        out += ' ';
+        out += route;
+    }
+    return out;
+}
+
+HttpResponse handle_readyz(Pusher& pusher) {
+    // Ready = the path to the Collect Agent is up (an unconfigured
+    // broker means cache-only operation, which is as ready as it gets).
+    const bool ready = !pusher.mqtt_configured() || pusher.mqtt_connected();
+    if (ready)
+        return HttpResponse::json("{\"ready\":true,\"reason\":\"ok\"}\n");
+    return {503, "application/json",
+            "{\"ready\":false,\"reason\":\"mqtt session down\"}\n"};
+}
 
 HttpResponse handle_sensors(Pusher& pusher, const HttpRequest& req) {
     const std::string topic = req.path.substr(std::string("/sensors").size());
@@ -117,6 +145,15 @@ std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
             if (req.path == "/config")
                 return HttpResponse::ok(pusher.config().to_string());
             if (req.path == "/stats") return handle_stats(pusher);
+            if (req.path == "/healthz")
+                return HttpResponse::json("{\"status\":\"ok\"}\n");
+            if (req.path == "/readyz") return handle_readyz(pusher);
+            if (req.path == "/traces")
+                return HttpResponse::ok(
+                    telemetry::trace::to_text(pusher.tracer(), "pusher"));
+            if (req.path == "/traces.json")
+                return HttpResponse::json(
+                    telemetry::trace::to_json(pusher.tracer(), "pusher"));
             if (req.path == "/metrics")
                 return HttpResponse::ok(
                     telemetry::to_prometheus(pusher.telemetry()),
@@ -126,10 +163,10 @@ std::unique_ptr<HttpServer> make_pusher_rest_server(Pusher& pusher) {
                     telemetry::to_json(pusher.telemetry()),
                     "application/json");
             if (req.path == "/")
-                return HttpResponse::ok(
-                    "dcdb pusher: /sensors /plugins /config /stats "
-                    "/metrics /metrics.json\n");
-            return HttpResponse::not_found();
+                return HttpResponse::ok("dcdb pusher:" + route_list() +
+                                        "\n");
+            return HttpResponse::not_found("not found; routes:" +
+                                           route_list() + "\n");
         },
         &pusher.telemetry());
 }

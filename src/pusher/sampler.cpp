@@ -7,9 +7,11 @@
 namespace dcdb::pusher {
 
 Sampler::Sampler(int threads, CacheSet* cache,
-                 telemetry::MetricRegistry* registry)
+                 telemetry::MetricRegistry* registry,
+                 telemetry::trace::Tracer* tracer)
     : thread_count_(std::max(threads, 1)),
       cache_(cache),
+      tracer_(tracer),
       samples_(telemetry::resolve_registry(registry, owned_registry_)
                    .counter("pusher.samples")),
       sample_latency_(telemetry::resolve_registry(registry, owned_registry_)
@@ -83,8 +85,24 @@ void Sampler::worker_loop() {
 
         const TimestampNs read_start = steady_ns();
         next.group->read_all(next.deadline, cache_);
-        sample_latency_.record(steady_ns() - read_start);
+        const std::uint64_t read_dur = steady_ns() - read_start;
         samples_.add(1);
+        // Head sampling happens here — at the moment a reading is born —
+        // so the trace's origin is the aligned deadline every later
+        // stage's wall-clock spans compare against. The untraced path is
+        // one counter increment + mask test inside maybe_start().
+        const auto ctx = tracer_ ? tracer_->maybe_start(next.deadline)
+                                 : telemetry::trace::TraceContext{};
+        if (ctx.valid()) {
+            sample_latency_.record(read_dur, ctx.trace_id);
+            tracer_->record_span(
+                ctx, telemetry::trace::Stage::kSample, next.deadline,
+                read_dur,
+                static_cast<std::uint32_t>(next.group->sensors().size()));
+            next.group->pending_trace().put(ctx);
+        } else {
+            sample_latency_.record(read_dur);
+        }
 
         mutex_.lock();
         // Reschedule at the next aligned boundary, skipping any deadlines

@@ -30,9 +30,12 @@ class Sampler {
   public:
     /// `threads`: number of sampling threads (paper production: 2).
     /// `registry` receives pusher.samples and the per-sample latency
-    /// histogram; nullptr keeps a private registry.
+    /// histogram; nullptr keeps a private registry. `tracer`, when set,
+    /// head-samples group reads and parks the minted context on the
+    /// group for the push thread.
     Sampler(int threads, CacheSet* cache,
-            telemetry::MetricRegistry* registry = nullptr);
+            telemetry::MetricRegistry* registry = nullptr,
+            telemetry::trace::Tracer* tracer = nullptr);
     ~Sampler();
 
     Sampler(const Sampler&) = delete;
@@ -64,6 +67,7 @@ class Sampler {
 
     int thread_count_;
     CacheSet* cache_;
+    telemetry::trace::Tracer* tracer_;
     std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
     telemetry::Counter& samples_;
     telemetry::Histogram& sample_latency_;

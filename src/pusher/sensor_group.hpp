@@ -17,6 +17,7 @@
 #include "core/sensor_cache.hpp"
 #include "pusher/sensor_base.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::pusher {
 
@@ -59,6 +60,12 @@ class SensorGroup {
 
     std::uint64_t reads_performed() const { return reads_.value(); }
 
+    /// Handoff slot for a trace minted by the sampler for this group's
+    /// latest read; the push thread takes it when it drains the group.
+    telemetry::trace::PendingTrace& pending_trace() {
+        return pending_trace_;
+    }
+
   protected:
     /// Plugin-specific acquisition: fill `out[i]` with the value for
     /// sensors()[i]. Returning false skips this cycle (e.g. source
@@ -73,6 +80,7 @@ class SensorGroup {
     std::vector<Value> scratch_;  // reused across reads, no hot-path alloc
     std::atomic<bool> enabled_{true};
     telemetry::Counter reads_;  // per-group, not registry-published
+    telemetry::trace::PendingTrace pending_trace_;
 };
 
 }  // namespace dcdb::pusher

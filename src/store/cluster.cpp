@@ -51,7 +51,8 @@ void StoreCluster::insert(const Key& key, TimestampNs ts, Value value,
 }
 
 void StoreCluster::insert_batch(std::span<const BatchEntry> entries,
-                                int local_hint) {
+                                int local_hint,
+                                const telemetry::trace::TraceContext* trace) {
     if (entries.empty()) return;
 
     // Group per destination node so each node sees one insert_batch
@@ -72,10 +73,21 @@ void StoreCluster::insert_batch(std::span<const BatchEntry> entries,
             buckets[(primary + r) % nodes_.size()].push_back(entry);
     }
     for (std::size_t i = 0; i < nodes_.size(); ++i)
-        if (!buckets[i].empty()) nodes_[i]->insert_batch(buckets[i]);
+        if (!buckets[i].empty()) nodes_[i]->insert_batch(buckets[i], trace);
 
     total_writes_.add(entries.size());
     if (local > 0) local_writes_.add(local);
+}
+
+void StoreCluster::set_tracer(telemetry::trace::Tracer* tracer) {
+    for (auto& node : nodes_) node->set_tracer(tracer);
+}
+
+bool StoreCluster::writable() const {
+    for (const auto& node : nodes_) {
+        if (!node->writable()) return false;
+    }
+    return true;
 }
 
 std::vector<Row> StoreCluster::query(const Key& key, TimestampNs t0,

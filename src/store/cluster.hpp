@@ -74,7 +74,15 @@ class StoreCluster {
     /// per reading. Write accounting stays in readings, matching
     /// insert().
     void insert_batch(std::span<const BatchEntry> entries,
-                      int local_hint = -1);
+                      int local_hint = -1,
+                      const telemetry::trace::TraceContext* trace = nullptr);
+
+    /// Forward the flight recorder to every node (log_append / sync
+    /// spans for traced batches). Set before traffic starts.
+    void set_tracer(telemetry::trace::Tracer* tracer);
+
+    /// Readiness probe: every node's data directory accepts writes.
+    bool writable() const;
 
     /// Query the primary replica.
     std::vector<Row> query(const Key& key, TimestampNs t0,

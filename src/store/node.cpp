@@ -1,5 +1,7 @@
 #include "store/node.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -121,7 +123,8 @@ void StorageNode::insert(const Key& key, TimestampNs ts, Value value,
     insert_batch(std::span<const BatchEntry>(&entry, 1));
 }
 
-void StorageNode::insert_batch(std::span<const BatchEntry> entries) {
+void StorageNode::insert_batch(std::span<const BatchEntry> entries,
+                               const telemetry::trace::TraceContext* trace) {
     if (entries.empty()) return;
 
     // Fault hook: errors model a transiently failing storage server
@@ -160,25 +163,59 @@ void StorageNode::insert_batch(std::span<const BatchEntry> entries) {
         scratch.push_back(KeyedRow{e.key, row});
     }
 
-    WriterLock lock(mutex_);
-    if (commitlog_) {
-        commitlog_->append_batch(scratch);
-        // The sync cadence counts rows, not batches: the durability
-        // contract ("lose at most commitlog_sync_every readings") must
-        // not widen just because the writer batched.
-        appends_since_sync_ += entries.size();
-        if (config_.commitlog_sync_every != 0 &&
-            appends_since_sync_ >= config_.commitlog_sync_every) {
-            const TimestampNs sync_start = steady_ns();
-            commitlog_->sync();
-            commitlog_sync_latency_.record(steady_ns() - sync_start);
-            appends_since_sync_ = 0;
+    // Span timings are captured inside the writer lock but recorded
+    // after it drops — the flight-recorder write is lock-free, yet there
+    // is no reason to stretch the lock hold for diagnostics.
+    const bool traced = trace != nullptr && trace->valid() &&
+                        tracer_ != nullptr;
+    TimestampNs append_wall = 0;
+    TimestampNs sync_wall = 0;
+    std::uint64_t append_dur = 0;
+    std::uint64_t sync_dur = 0;
+    bool synced = false;
+    {
+        WriterLock lock(mutex_);
+        if (commitlog_) {
+            TimestampNs append_start = 0;
+            if (traced) {
+                append_wall = now_ns();
+                append_start = steady_ns();
+            }
+            commitlog_->append_batch(scratch);
+            if (traced) append_dur = steady_ns() - append_start;
+            // The sync cadence counts rows, not batches: the durability
+            // contract ("lose at most commitlog_sync_every readings")
+            // must not widen just because the writer batched.
+            appends_since_sync_ += entries.size();
+            if (config_.commitlog_sync_every != 0 &&
+                appends_since_sync_ >= config_.commitlog_sync_every) {
+                if (traced) sync_wall = now_ns();
+                const TimestampNs sync_start = steady_ns();
+                commitlog_->sync();
+                const std::uint64_t dur = steady_ns() - sync_start;
+                commitlog_sync_latency_.record(dur);
+                if (traced) {
+                    sync_dur = dur;
+                    synced = true;
+                }
+                appends_since_sync_ = 0;
+            }
         }
+        for (const auto& kr : scratch) memtable_.insert(kr.key, kr.row);
+        writes_.add(entries.size());
+        if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
+            flush_locked();
     }
-    for (const auto& kr : scratch) memtable_.insert(kr.key, kr.row);
-    writes_.add(entries.size());
-    if (memtable_.approx_bytes() >= config_.memtable_flush_bytes)
-        flush_locked();
+    if (traced && append_wall != 0) {
+        tracer_->record_span(*trace, telemetry::trace::Stage::kLogAppend,
+                             append_wall, append_dur,
+                             static_cast<std::uint32_t>(entries.size()));
+    }
+    if (traced && synced) {
+        tracer_->record_span(*trace, telemetry::trace::Stage::kSync,
+                             sync_wall, sync_dur,
+                             static_cast<std::uint32_t>(entries.size()));
+    }
 }
 
 std::vector<Row> StorageNode::query(const Key& key, TimestampNs t0,
@@ -434,6 +471,10 @@ NodeStats StorageNode::stats() const {
     s.compaction_tables = compaction_tables_.value();
     s.compaction_bytes = compaction_bytes_.value();
     return s;
+}
+
+bool StorageNode::writable() const {
+    return ::access(config_.data_dir.c_str(), W_OK) == 0;
 }
 
 }  // namespace dcdb::store

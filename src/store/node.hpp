@@ -20,6 +20,7 @@
 #include "store/memtable.hpp"
 #include "store/sstable.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb::store {
 
@@ -91,8 +92,19 @@ class StorageNode {
     /// commit-log record (crash-atomic: replay delivers all of the
     /// batch's rows or none). The fault hook rolls once per batch —
     /// a batch is the unit of work, so it fails or lands as a unit.
-    void insert_batch(std::span<const BatchEntry> entries)
+    /// A non-null `trace` (plus a tracer via set_tracer) adds
+    /// log_append / sync spans for this batch to the flight recorder.
+    void insert_batch(std::span<const BatchEntry> entries,
+                      const telemetry::trace::TraceContext* trace = nullptr)
         DCDB_EXCLUDES(mutex_);
+
+    /// Wire the flight recorder for traced batches. Set before traffic
+    /// starts (plain pointer, not synchronized against inserts).
+    void set_tracer(telemetry::trace::Tracer* tracer) { tracer_ = tracer; }
+
+    /// Readiness probe: the data directory still accepts writes (a
+    /// full or remounted-read-only disk flips this to false).
+    bool writable() const;
 
     /// Merged view over memtable and SSTables, newest write wins per
     /// timestamp; expired rows are filtered. Results sorted by timestamp.
@@ -132,6 +144,7 @@ class StorageNode {
     std::string sstable_path(std::uint64_t generation) const;
 
     NodeConfig config_;
+    telemetry::trace::Tracer* tracer_{nullptr};
     std::unique_ptr<telemetry::MetricRegistry> owned_registry_;
     telemetry::Counter& writes_;
     telemetry::Counter& reads_;

@@ -1,6 +1,7 @@
 #include "telemetry/export.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iomanip>
 #include <limits>
@@ -120,8 +121,18 @@ std::string to_json(const MetricRegistry& registry) {
                               ",\"p50\":" + format_quantile(
                                                 snap.quantile(0.5)) +
                               ",\"p99\":" + format_quantile(
-                                                snap.quantile(0.99)) +
-                              "}";
+                                                snap.quantile(0.99));
+                // A trace ID from the worst populated bucket, when the
+                // histogram was recorded with exemplars: links this
+                // aggregate to one concrete /traces entry.
+                if (const std::uint64_t ex = snap.worst_exemplar()) {
+                    char hex[24];
+                    std::snprintf(hex, sizeof hex, "%016llx",
+                                  static_cast<unsigned long long>(ex));
+                    histograms += std::string(",\"exemplar\":\"") + hex +
+                                  "\"";
+                }
+                histograms += "}";
                 break;
             }
         }

@@ -18,6 +18,9 @@ std::uint64_t HistogramSnapshot::count() const noexcept {
 void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         buckets[i] += other.buckets[i];
+        // Either side's exemplar is a genuine bucket occupant; prefer
+        // the merged-in one (newer in the fold order callers use).
+        if (other.exemplars[i] != 0) exemplars[i] = other.exemplars[i];
     }
     sum += other.sum;
 }
@@ -52,10 +55,18 @@ double HistogramSnapshot::quantile(double q) const noexcept {
     return static_cast<double>(histogram_bucket_bound(buckets.size() - 1));
 }
 
+std::uint64_t HistogramSnapshot::worst_exemplar() const noexcept {
+    for (std::size_t k = buckets.size(); k-- > 0;) {
+        if (buckets[k] != 0 && exemplars[k] != 0) return exemplars[k];
+    }
+    return 0;
+}
+
 HistogramSnapshot Histogram::snapshot() const noexcept {
     HistogramSnapshot s;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        s.exemplars[i] = exemplars_[i].load(std::memory_order_relaxed);
     }
     s.sum = sum_.value();
     return s;

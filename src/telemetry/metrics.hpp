@@ -120,6 +120,9 @@ constexpr std::uint64_t histogram_bucket_bound(std::size_t k) noexcept {
 /// latency metric from many pushers) and queryable for quantiles.
 struct HistogramSnapshot {
     std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    /// Last trace ID recorded into each bucket (0 = none): the exemplar
+    /// that links an aggregate bucket to one concrete trace.
+    std::array<std::uint64_t, kHistogramBuckets> exemplars{};
     std::uint64_t sum{0};
 
     std::uint64_t count() const noexcept;
@@ -128,6 +131,10 @@ struct HistogramSnapshot {
     /// Approximate quantile (q in [0, 1]): linear interpolation inside
     /// the log2 bucket holding the target rank. Returns 0 when empty.
     double quantile(double q) const noexcept;
+
+    /// Exemplar of the highest populated bucket that has one (0 if
+    /// none): "show me a trace from the worst latency class".
+    std::uint64_t worst_exemplar() const noexcept;
 };
 
 /// Fixed-size log2-bucket latency histogram. record() is one relaxed
@@ -145,10 +152,24 @@ class Histogram {
         sum_.add(v);
     }
 
+    /// record() plus an exemplar: remembers `exemplar_id` (a trace ID)
+    /// as the last traced occupant of v's bucket, so a p99 bucket links
+    /// to a concrete trace. id 0 degrades to a plain record(), which
+    /// lets call sites pass `ctx.trace_id` unconditionally.
+    void record(std::uint64_t v, std::uint64_t exemplar_id) noexcept {
+        const std::size_t bucket = histogram_bucket(v);
+        buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+        sum_.add(v);
+        if (exemplar_id != 0)
+            exemplars_[bucket].store(exemplar_id,
+                                     std::memory_order_relaxed);
+    }
+
     HistogramSnapshot snapshot() const noexcept;
 
   private:
     std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> exemplars_{};
     Counter sum_;
 };
 

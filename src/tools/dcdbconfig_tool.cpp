@@ -4,6 +4,7 @@
 #include "core/hierarchy.hpp"
 #include "net/http.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 #include "tools/local_db.hpp"
 #include "tools/tools.hpp"
 
@@ -203,6 +204,44 @@ int perf_command(const std::vector<std::string>& args, std::ostream& out,
     }
 }
 
+// `trace HOST:PORT [HOST:PORT...]` fetches /traces from each live
+// daemon (Pusher and Collect Agent record different stages of the same
+// trace ID) and stitches them into per-trace timelines. Like perf, it
+// talks to running daemons and needs no --db.
+int trace_command(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+    if (args.empty()) {
+        err << "usage: dcdbconfig trace HOST:PORT [HOST:PORT...]\n";
+        return 2;
+    }
+    std::vector<telemetry::trace::ParsedTraceReport> reports;
+    for (const auto& arg : args) {
+        const auto endpoint = split_nonempty(arg, ':');
+        std::optional<std::uint64_t> port;
+        if (endpoint.size() == 2) port = parse_u64(endpoint[1]);
+        if (!port || *port == 0 || *port > 0xFFFF) {
+            err << "trace: endpoint must be HOST:PORT, got " << arg << "\n";
+            return 2;
+        }
+        try {
+            const auto resp = http_get(endpoint[0],
+                                       static_cast<std::uint16_t>(*port),
+                                       "/traces");
+            if (resp.status != 200) {
+                err << "trace: " << arg << " /traces returned "
+                    << resp.status << "\n";
+                return 1;
+            }
+            reports.push_back(telemetry::trace::parse_report(resp.body));
+        } catch (const std::exception& e) {
+            err << "trace: " << arg << ": " << e.what() << "\n";
+            return 1;
+        }
+    }
+    out << telemetry::trace::stitch_timeline(reports);
+    return 0;
+}
+
 }  // namespace
 
 int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
@@ -217,9 +256,14 @@ int run_dcdbconfig(const std::vector<std::string>& args, std::ostream& out,
         rest.erase(rest.begin());
         return perf_command(rest, out, err);
     }
+    if (!rest.empty() && rest[0] == "trace") {
+        rest.erase(rest.begin());
+        return trace_command(rest, out, err);
+    }
     if (db_dir.empty() || rest.empty()) {
         err << "usage: dcdbconfig --db DIR sensor|vsensor|db|hierarchy ...\n"
-               "       dcdbconfig perf HOST:PORT [--top N]\n";
+               "       dcdbconfig perf HOST:PORT [--top N]\n"
+               "       dcdbconfig trace HOST:PORT [HOST:PORT...]\n";
         return 2;
     }
     try {

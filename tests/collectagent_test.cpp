@@ -323,6 +323,63 @@ TEST_F(CollectAgentTest, QueryEndpointServesStoredSeries) {
     EXPECT_TRUE(empty.body.empty());
 }
 
+TEST_F(CollectAgentTest, RestHelpAndNotFoundEnumerateEveryServedRoute) {
+    CollectAgent agent(
+        parse_config("global { listenTcp false ; restApi true }"),
+        cluster_.get(), meta_.get());
+    const auto port = agent.rest_port();
+    ASSERT_GT(port, 0);
+
+    const auto help = http_get("127.0.0.1", port, "/");
+    ASSERT_EQ(help.status, 200);
+    const auto not_found = http_get("127.0.0.1", port, "/nope");
+    ASSERT_EQ(not_found.status, 404);
+
+    // Every advertised route is served (not 404 — /query answers 400
+    // without parameters) and both the help text and the 404 fallback
+    // stay in lockstep with the dispatcher.
+    for (const std::string route :
+         {"/sensors", "/hierarchy", "/query", "/stats", "/healthz",
+          "/readyz", "/traces", "/traces.json", "/metrics",
+          "/metrics.json"}) {
+        EXPECT_NE(help.body.find(route), std::string::npos)
+            << route << " missing from /";
+        EXPECT_NE(not_found.body.find(route), std::string::npos)
+            << route << " missing from the 404 fallback";
+        EXPECT_NE(http_get("127.0.0.1", port, route).status, 404)
+            << route << " advertised but not served";
+    }
+}
+
+TEST_F(CollectAgentTest, HealthzAndReadyzReportStoreAndMaintenance) {
+    CollectAgent agent(
+        parse_config("global { listenTcp false ; restApi true ;\n"
+                     "  storeMaintenance 50ms }"),
+        cluster_.get(), meta_.get());
+    const auto port = agent.rest_port();
+    ASSERT_GT(port, 0);
+
+    const auto health = http_get("127.0.0.1", port, "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("ok"), std::string::npos);
+
+    // Store writable + owned maintenance thread alive = ready.
+    ASSERT_TRUE(cluster_->maintenance_running());
+    const auto ready = http_get("127.0.0.1", port, "/readyz");
+    EXPECT_EQ(ready.status, 200);
+    EXPECT_NE(ready.body.find("\"ready\":true"), std::string::npos);
+
+    // The probe itself reports the failure cause once the maintenance
+    // thread the agent owns is gone.
+    cluster_->stop_maintenance();
+    const auto degraded = agent.readiness();
+    EXPECT_FALSE(degraded.ready);
+    EXPECT_EQ(degraded.reason, "maintenance thread not running");
+    const auto not_ready = http_get("127.0.0.1", port, "/readyz");
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("maintenance"), std::string::npos);
+}
+
 TEST_F(CollectAgentTest, ManyConcurrentPushersAllIngested) {
     CollectAgent agent(parse_config("global { listenTcp false }"),
                        cluster_.get(), meta_.get());

@@ -18,6 +18,7 @@
 #include "mqtt/topic.hpp"
 #include "store/node.hpp"
 #include "store/tsblock.hpp"
+#include "telemetry/trace.hpp"
 
 namespace dcdb {
 namespace {
@@ -522,6 +523,118 @@ TEST_P(PayloadProperty, V0ViewMatchesLegacyDecoderAndSalvagesTails) {
     const auto torn = decode_readings_view(payload);
     EXPECT_EQ(torn.readings.size(), readings.size());
     EXPECT_EQ(torn.torn_bytes, tail);
+}
+
+TEST_P(PayloadProperty, TraceTrailerRoundTripsThroughBatch) {
+    Rng rng(seed());
+    std::vector<std::string> topics;
+    std::vector<std::vector<Reading>> readings;
+    std::vector<SensorBatch> batches;
+    const std::size_t n_sections = 1 + rng.below(6);
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        topics.push_back("/prop/trace" + std::to_string(s));
+        readings.push_back(random_readings(rng, rng.below(30)));
+    }
+    for (std::size_t s = 0; s < n_sections; ++s)
+        batches.push_back({topics[s], readings[s]});
+    telemetry::trace::TraceContext ctx;
+    ctx.trace_id = rng.next_u64() | 1;  // nonzero
+    ctx.origin_ns = rng.next_u64();
+    ctx.flags = static_cast<std::uint8_t>(
+        telemetry::trace::kFlagSampled |
+        (rng.below(2) ? telemetry::trace::kFlagForced : 0));
+
+    const auto payload = encode_batch(batches, ctx);
+    ASSERT_TRUE(is_batch_payload(payload));
+    // The broker-side tail probe sees the same context.
+    const auto peeked = telemetry::trace::peek_trailer(payload);
+    EXPECT_EQ(peeked.trace_id, ctx.trace_id);
+    EXPECT_EQ(peeked.origin_ns, ctx.origin_ns);
+    EXPECT_EQ(peeked.flags, ctx.flags);
+
+    BatchPayloadView view;
+    decode_batch(payload, view);
+    EXPECT_EQ(view.torn_bytes, 0u);
+    EXPECT_EQ(view.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(view.trace.origin_ns, ctx.origin_ns);
+    EXPECT_EQ(view.trace.flags, ctx.flags);
+    // The trailer must not perturb the data itself.
+    ASSERT_EQ(view.sections.size(), n_sections);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        EXPECT_EQ(view.sections[s].topic, topics[s]);
+        ASSERT_EQ(view.sections[s].readings.size(), readings[s].size());
+        total += readings[s].size();
+    }
+    EXPECT_EQ(view.total_readings, total);
+}
+
+TEST_P(PayloadProperty, TrailerlessBatchDecodesWithoutTrace) {
+    Rng rng(seed());
+    std::vector<SensorBatch> batches;
+    std::vector<Reading> readings = random_readings(rng, 1 + rng.below(30));
+    batches.push_back({"/prop/notrace", readings});
+
+    const auto payload = encode_batch(batches);  // v1 without a trailer
+    EXPECT_FALSE(telemetry::trace::peek_trailer(payload).valid());
+
+    BatchPayloadView view;
+    // Poison the view's trace: a prior decode of a traced payload into
+    // the same (thread_local, in the agent) view must not leak through.
+    view.trace.trace_id = 0xBAD;
+    decode_batch(payload, view);
+    EXPECT_FALSE(view.trace.valid());
+    EXPECT_EQ(view.torn_bytes, 0u);
+    ASSERT_EQ(view.sections.size(), 1u);
+    EXPECT_EQ(view.sections[0].readings.size(), readings.size());
+}
+
+TEST_P(PayloadProperty, TornTrailerNeverMisattributesTrace) {
+    Rng rng(seed());
+    std::vector<SensorBatch> batches;
+    std::vector<std::vector<Reading>> readings;
+    std::vector<std::string> topics;
+    const std::size_t n_sections = 1 + rng.below(4);
+    for (std::size_t s = 0; s < n_sections; ++s) {
+        topics.push_back("/prop/torn" + std::to_string(s));
+        readings.push_back(random_readings(rng, 1 + rng.below(16)));
+    }
+    for (std::size_t s = 0; s < n_sections; ++s)
+        batches.push_back({topics[s], readings[s]});
+    telemetry::trace::TraceContext ctx;
+    ctx.trace_id = rng.next_u64() | 1;
+    ctx.origin_ns = rng.next_u64();
+    ctx.flags = telemetry::trace::kFlagSampled;
+    const auto payload = encode_batch(batches, ctx);
+
+    std::vector<Reading> all;
+    for (const auto& r : readings) all.insert(all.end(), r.begin(), r.end());
+
+    // Any truncation — through the sections OR through the trailer
+    // itself — must decode with NO trace: a partial trailer could
+    // otherwise attribute a salvaged prefix to a garbled trace ID.
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t cut =
+            kBatchHeaderBytes +
+            rng.below(payload.size() - kBatchHeaderBytes);  // < full size
+        BatchPayloadView view;
+        view.trace.trace_id = 0xBAD;  // must be reset by decode
+        decode_batch(std::span<const std::uint8_t>(payload.data(), cut),
+                     view);
+        EXPECT_FALSE(view.trace.valid())
+            << "cut=" << cut << " of " << payload.size();
+        // And the salvage property still holds under the trailer.
+        const auto got = flatten(view);
+        ASSERT_LE(got.size(), all.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].ts, all[i].ts);
+            EXPECT_EQ(got[i].value, all[i].value);
+        }
+    }
+    // The un-cut payload keeps its trace (sanity against over-rejecting).
+    BatchPayloadView whole;
+    decode_batch(payload, whole);
+    EXPECT_EQ(whole.trace.trace_id, ctx.trace_id);
 }
 
 TEST_P(PayloadProperty, FuzzedBatchDecodeNeverCrashes) {

@@ -360,6 +360,64 @@ TEST(Pusher, RestApiServesSensorsAndPlugins) {
     pusher.stop();
 }
 
+TEST(Pusher, RestHelpAndNotFoundEnumerateEveryServedRoute) {
+    Pusher pusher(tester_config(1, "50ms", /*rest=*/true));
+    pusher.start();
+    const auto port = pusher.rest_port();
+    ASSERT_GT(port, 0);
+
+    const auto help = http_get("127.0.0.1", port, "/");
+    ASSERT_EQ(help.status, 200);
+    const auto not_found = http_get("127.0.0.1", port, "/nope");
+    ASSERT_EQ(not_found.status, 404);
+
+    // Every advertised route is actually served, and both the help text
+    // and the 404 fallback advertise all of them — this is the parity
+    // the hard-coded help strings used to lose (/stats was missing).
+    for (const std::string route :
+         {"/sensors", "/plugins", "/config", "/stats", "/healthz",
+          "/readyz", "/traces", "/traces.json", "/metrics",
+          "/metrics.json"}) {
+        EXPECT_NE(help.body.find(route), std::string::npos)
+            << route << " missing from /";
+        EXPECT_NE(not_found.body.find(route), std::string::npos)
+            << route << " missing from the 404 fallback";
+        EXPECT_NE(http_get("127.0.0.1", port, route).status, 404)
+            << route << " advertised but not served";
+    }
+    pusher.stop();
+}
+
+TEST(Pusher, HealthzAlwaysOkReadyzTracksBrokerSession) {
+    // Cache-only (no broker configured): as ready as it gets.
+    Pusher cache_only(tester_config(1, "50ms", /*rest=*/true));
+    cache_only.start();
+    const auto port = cache_only.rest_port();
+    const auto health = http_get("127.0.0.1", port, "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_NE(health.body.find("ok"), std::string::npos);
+    const auto ready = http_get("127.0.0.1", port, "/readyz");
+    EXPECT_EQ(ready.status, 200);
+    EXPECT_NE(ready.body.find("\"ready\":true"), std::string::npos);
+    cache_only.stop();
+
+    // A configured but unreachable broker: alive (healthz 200) but not
+    // ready (readyz 503) until a session comes up.
+    Pusher unreachable(parse_config(
+        "global {\n"
+        "    topicPrefix /test/node1\n"
+        "    mqttBroker 127.0.0.1:1\n"
+        "    restApi true\n"
+        "}\n"
+        "plugins { tester { group g0 { sensors 1 ; interval 1s } } }\n"));
+    const auto port2 = unreachable.rest_port();
+    ASSERT_GT(port2, 0);
+    EXPECT_EQ(http_get("127.0.0.1", port2, "/healthz").status, 200);
+    const auto not_ready = http_get("127.0.0.1", port2, "/readyz");
+    EXPECT_EQ(not_ready.status, 503);
+    EXPECT_NE(not_ready.body.find("mqtt session down"), std::string::npos);
+}
+
 TEST(Pusher, RestStartStopControlsSampling) {
     Pusher pusher(tester_config(1, "50ms", /*rest=*/true));
     pusher.start();

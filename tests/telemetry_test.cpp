@@ -24,6 +24,7 @@
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "tools/tools.hpp"
 
 namespace dcdb::telemetry {
@@ -437,6 +438,271 @@ TEST(PerfCommand, RejectsBadEndpoints) {
     EXPECT_NE(err.str().find("usage"), std::string::npos);
     EXPECT_EQ(tools::run_dcdbconfig({"perf", "nohost"}, out, err), 2);
     EXPECT_EQ(tools::run_dcdbconfig({"perf", "h:0"}, out, err), 2);
+}
+
+// ================================================================ trace
+
+TEST(Trace, StageNamesRoundTrip) {
+    for (std::uint8_t s = 0; s < trace::kStageCount; ++s) {
+        const auto stage = static_cast<trace::Stage>(s);
+        const auto parsed = trace::stage_from_name(trace::stage_name(stage));
+        ASSERT_TRUE(parsed.has_value()) << trace::stage_name(stage);
+        EXPECT_EQ(*parsed, stage);
+    }
+    EXPECT_FALSE(trace::stage_from_name("nonsense").has_value());
+}
+
+TEST(Trace, HeadSamplingMintsAtConfiguredRate) {
+    trace::Tracer::Config config;
+    config.sample_every = 4;
+    config.seed = 42;
+    trace::Tracer tracer(config);
+    std::size_t minted = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        const auto ctx = tracer.maybe_start(1000 + i);
+        if (ctx.valid()) {
+            ++minted;
+            EXPECT_NE(ctx.trace_id, 0u);
+            EXPECT_EQ(ctx.origin_ns, 1000 + i);
+            EXPECT_TRUE(ctx.flags & trace::kFlagSampled);
+        }
+    }
+    EXPECT_EQ(minted, 1024u / 4);
+    EXPECT_EQ(tracer.minted_count(), minted);
+
+    trace::Tracer::Config off;
+    off.sample_every = 0;  // tracing disabled
+    trace::Tracer disabled(off);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(disabled.maybe_start(i + 1).valid());
+    EXPECT_EQ(disabled.minted_count(), 0u);
+}
+
+TEST(Trace, RingRecordsSpansAndSnapshotsInStartOrder) {
+    trace::Tracer::Config config;
+    config.sample_every = 1;
+    trace::Tracer tracer(config);
+    const auto ctx = tracer.maybe_start(500);
+    ASSERT_TRUE(ctx.valid());
+    tracer.record_span(ctx, trace::Stage::kPublish, 700, 30, 8);
+    tracer.record_span(ctx, trace::Stage::kSample, 500, 100, 8);
+    tracer.record_span(ctx, trace::Stage::kInsert, 900, 10, 8);
+
+    const auto spans = tracer.ring_snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].stage, trace::Stage::kSample);
+    EXPECT_EQ(spans[1].stage, trace::Stage::kPublish);
+    EXPECT_EQ(spans[2].stage, trace::Stage::kInsert);
+    for (const auto& span : spans) {
+        EXPECT_EQ(span.trace_id, ctx.trace_id);
+        EXPECT_EQ(span.readings, 8u);
+    }
+}
+
+TEST(Trace, CompleteRetainsSlowestAndFlagsOutliers) {
+    trace::Tracer::Config config;
+    config.sample_every = 1;
+    config.slowest_keep = 2;
+    config.outlier_threshold_ns = 1000;  // fixed: no p99 warm-up needed
+    trace::Tracer tracer(config);
+
+    // Three traces: e2e 100 (fast), 500 (medium), 5000 (outlier).
+    const auto fast = tracer.maybe_start(10);
+    tracer.record_span(fast, trace::Stage::kSample, 10, 5, 1);
+    tracer.complete(fast, 110);
+    const auto medium = tracer.maybe_start(20);
+    tracer.record_span(medium, trace::Stage::kSample, 20, 5, 1);
+    tracer.complete(medium, 520);
+    const auto slow = tracer.maybe_start(30);
+    tracer.record_span(slow, trace::Stage::kSample, 30, 5, 1);
+    tracer.complete(slow, 5030);
+
+    EXPECT_EQ(tracer.completed_count(), 3u);
+    EXPECT_EQ(tracer.forced_count(), 1u);  // only the 5000ns trace
+
+    const auto slowest = tracer.slowest();
+    ASSERT_EQ(slowest.size(), 2u);  // slowest_keep capped
+    EXPECT_EQ(slowest[0].trace_id, slow.trace_id);
+    EXPECT_EQ(slowest[0].e2e_ns, 5000u);
+    EXPECT_TRUE(slowest[0].flags & trace::kFlagForced);
+    EXPECT_EQ(slowest[1].trace_id, medium.trace_id);
+    EXPECT_FALSE(slowest[1].flags & trace::kFlagForced);
+    ASSERT_EQ(slowest[0].spans.size(), 1u);
+    EXPECT_EQ(slowest[0].spans[0].stage, trace::Stage::kSample);
+}
+
+TEST(Trace, ReportRoundTripsThroughParserAndStitches) {
+    trace::Tracer::Config config;
+    config.sample_every = 1;
+    trace::Tracer tracer(config);
+    const auto ctx = tracer.maybe_start(1000);
+    tracer.record_span(ctx, trace::Stage::kSample, 1000, 50, 4);
+    tracer.record_span(ctx, trace::Stage::kPublish, 1100, 20, 4);
+    tracer.complete(ctx, 1200);
+
+    const std::string text = trace::to_text(tracer, "pusher");
+    const auto report = trace::parse_report(text);
+    EXPECT_EQ(report.site, "pusher");
+    ASSERT_GE(report.spans.size(), 2u);
+    bool saw_sample = false;
+    for (const auto& span : report.spans) {
+        EXPECT_EQ(span.trace_id, ctx.trace_id);
+        if (span.stage == "sample") {
+            saw_sample = true;
+            EXPECT_EQ(span.start_ns, 1000u);
+            EXPECT_EQ(span.duration_ns, 50u);
+            EXPECT_EQ(span.readings, 4u);
+        }
+    }
+    EXPECT_TRUE(saw_sample);
+
+    // A second site recording a later stage of the same trace stitches
+    // into one timeline ordered by start time.
+    trace::Tracer::Config agent_config;
+    agent_config.sample_every = 1;
+    trace::Tracer agent_tracer(agent_config);
+    agent_tracer.record_span(ctx, trace::Stage::kInsert, 1150, 30, 4);
+    const auto agent_report =
+        trace::parse_report(trace::to_text(agent_tracer, "agent"));
+
+    const std::string timeline =
+        trace::stitch_timeline({report, agent_report});
+    EXPECT_NE(timeline.find("sample"), std::string::npos);
+    EXPECT_NE(timeline.find("insert"), std::string::npos);
+    EXPECT_NE(timeline.find("pusher"), std::string::npos);
+    EXPECT_NE(timeline.find("agent"), std::string::npos);
+    // sample (start 1000) must precede insert (start 1150).
+    EXPECT_LT(timeline.find("sample"), timeline.find("insert"));
+
+    // JSON view carries the same trace id.
+    const std::string json = trace::to_json(tracer, "pusher");
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(ctx.trace_id));
+    EXPECT_NE(json.find(hex), std::string::npos);
+}
+
+// The tentpole end-to-end check: a reading sampled on a live Pusher with
+// head sampling at 1/1 carries its trace through coalesce → publish →
+// broker → decode → insert, the agent completes it, and stitching the
+// two /traces reports yields one timeline with both sites' stages in
+// start order. This is the workflow `dcdbconfig trace HOST:PORT...`
+// automates.
+TEST(Trace, EndToEndStitchedTimelineAcrossPusherAndAgent) {
+    TempDir dir;
+    store::ClusterConfig cluster_config;
+    cluster_config.base_dir = dir.str();
+    cluster_config.nodes = 1;
+    cluster_config.commitlog_enabled = true;
+    cluster_config.commitlog_sync_every = 1;  // every batch syncs: kSync
+    store::StoreCluster cluster(cluster_config);
+    store::MetaStore meta(dir.str() + "/meta.log");
+    collectagent::CollectAgent agent(
+        parse_config("global { listenTcp false ; restApi true ;\n"
+                     "  traceSampleRate 1 }"),
+        &cluster, &meta);
+
+    pusher::Pusher pusher(
+        parse_config("global { topicPrefix /trace ; pushInterval 20ms ;\n"
+                     "  restApi true ; traceSampleRate 1 }\n"
+                     "plugins { tester { group g { sensors 3 ;\n"
+                     "  interval 20ms } } }\n"),
+        agent.connect_inproc());
+    pusher.start();
+
+    // Wait for at least one trace to complete on the agent side.
+    const auto deadline = steady_ns() + 30 * kNsPerSec;
+    while (steady_ns() < deadline && agent.tracer().completed_count() < 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(agent.tracer().completed_count(), 1u)
+        << "no trace completed end-to-end";
+    EXPECT_GE(pusher.tracer().minted_count(), 1u);
+
+    ASSERT_NE(pusher.rest_port(), 0);
+    ASSERT_NE(agent.rest_port(), 0);
+    const auto pusher_resp =
+        http_get("127.0.0.1", pusher.rest_port(), "/traces");
+    const auto agent_resp =
+        http_get("127.0.0.1", agent.rest_port(), "/traces");
+    ASSERT_EQ(pusher_resp.status, 200);
+    ASSERT_EQ(agent_resp.status, 200);
+
+    const auto pusher_report = trace::parse_report(pusher_resp.body);
+    const auto agent_report = trace::parse_report(agent_resp.body);
+    EXPECT_EQ(pusher_report.site, "pusher");
+    EXPECT_EQ(agent_report.site, "agent");
+    ASSERT_FALSE(pusher_report.spans.empty());
+    ASSERT_FALSE(agent_report.spans.empty());
+
+    const std::string timeline =
+        trace::stitch_timeline({pusher_report, agent_report});
+    // At least one stitched trace must cross the process boundary: the
+    // pusher's sample stage and the agent's insert stage on one ID.
+    EXPECT_NE(timeline.find("trace "), std::string::npos);
+    EXPECT_NE(timeline.find("sample"), std::string::npos) << timeline;
+    EXPECT_NE(timeline.find("insert"), std::string::npos) << timeline;
+    EXPECT_NE(timeline.find("pusher"), std::string::npos);
+    EXPECT_NE(timeline.find("agent"), std::string::npos);
+    EXPECT_NE(timeline.find("log_append"), std::string::npos)
+        << "store spans missing from the stitched timeline:\n" << timeline;
+
+    // The CLI drives the same path end to end.
+    std::ostringstream out;
+    std::ostringstream err;
+    ASSERT_EQ(
+        tools::run_dcdbconfig(
+            {"trace", "127.0.0.1:" + std::to_string(pusher.rest_port()),
+             "127.0.0.1:" + std::to_string(agent.rest_port())},
+            out, err),
+        0)
+        << err.str();
+    EXPECT_NE(out.str().find("sample"), std::string::npos) << out.str();
+    EXPECT_NE(out.str().find("insert"), std::string::npos) << out.str();
+
+    // JSON twin serves the machine-readable form.
+    const auto json_resp =
+        http_get("127.0.0.1", agent.rest_port(), "/traces.json");
+    ASSERT_EQ(json_resp.status, 200);
+    EXPECT_NE(json_resp.body.find("\"spans\""), std::string::npos);
+
+    // The agent's store-latency histogram carries a trace exemplar to
+    // pivot from /metrics.json into /traces.
+    const auto metrics_json =
+        http_get("127.0.0.1", agent.rest_port(), "/metrics.json");
+    ASSERT_EQ(metrics_json.status, 200);
+    EXPECT_NE(metrics_json.body.find("\"exemplar\""), std::string::npos);
+
+    pusher.stop();
+}
+
+TEST(Histogram, ExemplarTracksWorstPopulatedBucket) {
+    Histogram h;
+    h.record(10, 0x1111);
+    h.record(1000, 0x2222);
+    h.record(50);  // no exemplar
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.worst_exemplar(), 0x2222u);
+
+    // Merge prefers the other side's exemplar when present.
+    Histogram h2;
+    h2.record(1u << 20, 0x3333);
+    auto merged = h.snapshot();
+    merged.merge(h2.snapshot());
+    EXPECT_EQ(merged.worst_exemplar(), 0x3333u);
+
+    // Exemplar-free histograms report none and export no exemplar key.
+    Histogram plain;
+    plain.record(5);
+    EXPECT_EQ(plain.snapshot().worst_exemplar(), 0u);
+}
+
+TEST(Export, JsonCarriesHistogramExemplar) {
+    MetricRegistry registry;
+    registry.histogram("test.latency").record(1234, 0xABCDEF);
+    const std::string json = to_json(registry);
+    EXPECT_NE(json.find("\"exemplar\":\"0000000000abcdef\""),
+              std::string::npos);
 }
 
 }  // namespace

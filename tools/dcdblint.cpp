@@ -47,6 +47,14 @@
 //                      they are sharded, exported and self-fed.
 //                      std::atomic<bool> flags are fine; anything else
 //                      needs a `dcdblint: allow-atomic(<why>)` marker.
+//   trace-stage        a Tracer::record_span call site must name its
+//                      stage from the canonical Stage enum (Stage::k...)
+//                      at the call (within two lines, for wrapped
+//                      argument lists) — a stage passed through a
+//                      variable defeats the greppable sample→sync
+//                      pipeline inventory. Indirection that is genuinely
+//                      needed carries a
+//                      `dcdblint: allow-trace-stage(<why>)` marker.
 //
 // Markers are written in comments on the offending line or the line
 // directly above, so every suppression carries its justification in situ.
@@ -446,6 +454,39 @@ void check_naked_atomic(const std::string& rel,
     }
 }
 
+// Every flight-recorder span must be attributable to a pipeline stage by
+// grep: the Stage enumerator is the documentation of where in the
+// sample→sync pipeline the span sits, so it must appear literally at the
+// call site (same line or the two continuation lines of a wrapped call).
+void check_trace_stage(const std::string& rel,
+                       const std::vector<Line>& lines,
+                       std::vector<Violation>& out) {
+    if (rel.rfind("src/telemetry/", 0) == 0) return;  // the substrate
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const auto pos = find_word(code, "record_span");
+        if (!pos) continue;
+        // Only calls: `record_span` immediately followed by '('.
+        std::size_t j = *pos + std::string("record_span").size();
+        while (j < code.size() && code[j] == ' ') ++j;
+        if (j >= code.size() || code[j] != '(') continue;
+        bool named = false;
+        for (std::size_t k = i; k < lines.size() && k <= i + 2; ++k) {
+            if (lines[k].code.find("Stage::k") != std::string::npos) {
+                named = true;
+                break;
+            }
+        }
+        if (named) continue;
+        if (has_marker(lines, i, "dcdblint: allow-trace-stage")) continue;
+        out.push_back(
+            {rel, i + 1, "trace-stage",
+             "record_span without a literal Stage::k... at the call site "
+             "— name the pipeline stage, or justify with "
+             "`dcdblint: allow-trace-stage(<why>)`"});
+    }
+}
+
 void check_includes(const std::string& rel, const std::vector<Line>& lines,
                     std::vector<Violation>& out) {
     const std::string layer = layer_of(rel);
@@ -544,6 +585,7 @@ std::vector<Violation> lint_file(const std::string& rel,
     check_sleep(rel, lines, out);
     check_per_reading_insert(rel, lines, out);
     check_naked_atomic(rel, lines, out);
+    check_trace_stage(rel, lines, out);
     check_includes(rel, lines, out);
     check_topic_literals(rel, lines, out);
     return out;
@@ -613,6 +655,20 @@ const Case kCases[] = {
      nullptr},
     {"telemetry layer may use raw atomics", "src/telemetry/good.hpp",
      "std::atomic<std::uint64_t> v{0};\n", nullptr},
+    {"record_span without stage fires", "src/pusher/bad3.cpp",
+     "tracer_->record_span(ctx, stage, start, dur, n);\n", "trace-stage"},
+    {"record_span with stage clean", "src/pusher/good6.cpp",
+     "tracer_->record_span(ctx, telemetry::trace::Stage::kSample,\n"
+     "                     start, dur, n);\n",
+     nullptr},
+    {"allow-trace-stage marker accepted", "src/mqtt/good.cpp",
+     "// dcdblint: allow-trace-stage(stage forwarded by test harness)\n"
+     "tracer_->record_span(ctx, stage, start, dur, n);\n",
+     nullptr},
+    {"record_span declaration in telemetry clean", "src/telemetry/good3.hpp",
+     "void record_span(const TraceContext& ctx, Stage stage,\n"
+     "                 TimestampNs start, std::uint64_t dur) noexcept;\n",
+     nullptr},
     {"atomic trait query clean", "src/net/good.hpp",
      "static_assert(std::atomic<std::uint64_t>::is_always_lock_free);\n",
      nullptr},
